@@ -1,0 +1,152 @@
+// Command gridlab regenerates every table and figure of the reproduction
+// of "Globus and PlanetLab Resource Management Solutions Compared"
+// (HPDC-13, 2004). Each subcommand corresponds to one experiment in
+// DESIGN.md; `gridlab all` runs the full set in order.
+//
+// Usage:
+//
+//	gridlab [-seed N] <table1|fig1|fig2|scale|proxylife|delegation|allocation|hetero|datagrid|oversub|all>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+)
+
+var seed = flag.Int64("seed", 42, "simulation seed (runs are deterministic per seed)")
+
+type command struct {
+	name, desc string
+	run        func() error
+}
+
+func commands() []command {
+	return []command{
+		{"table1", "Table 1: abbreviation glossary mapped to modules", func() error {
+			core.RenderTable1(os.Stdout)
+			return nil
+		}},
+		{"fig1", "Figure 1: site autonomy vs VO-level functionality", func() error {
+			core.RenderFigure1(os.Stdout, *seed, 12)
+			fmt.Println("\nSweep over homogeneous autonomy demand alpha:")
+			core.Figure1Sweep(*seed, 8, []float64{0.1, 0.3, 0.5, 0.7, 0.9}).Render(os.Stdout)
+			return nil
+		}},
+		{"fig2", "Figure 2: SHARP ticket -> lease -> VM protocol trace", func() error {
+			return core.RenderFigure2(os.Stdout, *seed)
+		}},
+		{"scale", "E3: federation scale sweep (paper: GT 20-50 sites, PlanetLab 155 -> ~1000)", func() error {
+			core.RunScale(*seed, []int{10, 50, 100, 200, 500, 1000}).Render(os.Stdout)
+			return nil
+		}},
+		{"proxylife", "E4: proxy-certificate lifetime tradeoff", func() error {
+			core.RunProxyLifetime(*seed, []time.Duration{
+				time.Hour, 2 * time.Hour, 4 * time.Hour, 8 * time.Hour,
+				16 * time.Hour, 32 * time.Hour, 64 * time.Hour,
+			}, 500).Render(os.Stdout)
+			return nil
+		}},
+		{"delegation", "E5: identity vs usage delegation under policy churn", func() error {
+			for _, churn := range []float64{0, 0.5, 0.9} {
+				fmt.Printf("churn probability %.2f:\n", churn)
+				core.RunDelegation(*seed, 10, 50, churn).Render(os.Stdout)
+				fmt.Println()
+			}
+			return nil
+		}},
+		{"allocation", "E6: best-effort vs reserved; FCFS port conflicts", func() error {
+			core.RunAllocation(*seed, 10, 300).Render(os.Stdout)
+			return nil
+		}},
+		{"hetero", "E7: heterogeneity glue cost vs uniform node interface", func() error {
+			core.RunHeterogeneity(*seed, []int{0, 1, 2, 4, 8}, 200).Render(os.Stdout)
+			return nil
+		}},
+		{"datagrid", "E8: striped GridFTP +/- PlanetLab multipath overlay", func() error {
+			core.RunDataGrid(*seed, 1e9, []float64{0, 0.005, 0.01, 0.02}, []int{1, 2, 4, 8, 16}).Render(os.Stdout)
+			return nil
+		}},
+		{"oversub", "E9: SHARP ticket oversubscription sweep", func() error {
+			core.RunOversub(*seed, []float64{0.5, 1.0, 1.5, 2.0, 2.5, 3.0}).Render(os.Stdout)
+			return nil
+		}},
+		{"avail", "E10/E11: availability under failures (analytic + managed service)", func() error {
+			core.RunAvailability(*seed, []int{1, 2, 3, 4, 6, 8}, 90*24*time.Hour).Render(os.Stdout)
+			fmt.Println("\nE11: live managed service vs static placement (12 sites, k=3, 90 days):")
+			core.RunManagedAvailability(*seed, 3, 90*24*time.Hour).Render(os.Stdout)
+			return nil
+		}},
+		{"probes", "probe-by-probe functionality matrix across all three stacks", func() error {
+			specs := make([]core.SiteSpec, 6)
+			for i := range specs {
+				specs[i] = core.SiteSpec{
+					Name: fmt.Sprintf("s%d", i), X: float64(10 * (i + 1)), Y: 8,
+					Nodes: 2, ClusterSlots: 16, Policy: core.PlanetLabSitePolicy(),
+				}
+			}
+			core.RenderProbeMatrix(os.Stdout, *seed, specs)
+			return nil
+		}},
+		{"recs", "§6 recommendations mapped to their demonstrations in this repo", func() error {
+			core.RenderRecommendations(os.Stdout)
+			return nil
+		}},
+		{"ablation", "A1-A3: backfill, multipath pooling, MDS refresh ablations", func() error {
+			fmt.Println("A1: EASY backfill vs pure FCFS (32 slots, 200 jobs):")
+			core.RunBackfillAblation(*seed, 32, 200).Render(os.Stdout)
+			fmt.Println("\nA2: static vs pooled multipath split (400 MB, asymmetric paths):")
+			core.RunPoolingAblation(*seed, 400e6).Render(os.Stdout)
+			fmt.Println("\nA3: MDS soft-state refresh period (200 resources):")
+			core.RunTTLAblation(*seed, []time.Duration{
+				30 * time.Second, time.Minute, 2 * time.Minute, 5 * time.Minute, 10 * time.Minute,
+			}, 200).Render(os.Stdout)
+			return nil
+		}},
+	}
+}
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	name := flag.Arg(0)
+	cmds := commands()
+	if name == "all" {
+		for _, c := range cmds {
+			fmt.Printf("==== %s: %s ====\n", c.name, c.desc)
+			if err := c.run(); err != nil {
+				fmt.Fprintf(os.Stderr, "gridlab %s: %v\n", c.name, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+		return
+	}
+	for _, c := range cmds {
+		if c.name == name {
+			if err := c.run(); err != nil {
+				fmt.Fprintf(os.Stderr, "gridlab %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "gridlab: unknown command %q\n\n", name)
+	usage()
+	os.Exit(2)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: gridlab [-seed N] <command>\n\ncommands:\n")
+	for _, c := range commands() {
+		fmt.Fprintf(os.Stderr, "  %-11s %s\n", c.name, c.desc)
+	}
+	fmt.Fprintf(os.Stderr, "  %-11s run every experiment in order\n", "all")
+}

@@ -1,0 +1,165 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/capability"
+	"repro/internal/identity"
+	"repro/internal/sharp"
+	"repro/internal/silk"
+	"repro/internal/vm"
+)
+
+// ErrNoTickets reports that the broker could not supply resources for a
+// requested site.
+var ErrNoTickets = errors.New("broker: no tickets available for site")
+
+// SiteRuntime bundles one PlanetLab site's local machinery: the SHARP
+// authority, its node manager, and the node the VMs land on. (One node
+// per site keeps the model at the paper's granularity of "a few nodes
+// each".)
+type SiteRuntime struct {
+	Authority *sharp.Authority
+	NM        *capability.NodeManager
+	Node      *silk.Node
+}
+
+// Deployer is the PlanetLab-style usage-delegation broker: it pre-pulls
+// tickets from site authorities into a SHARP agent and hands resource
+// claims — never identities — to service managers, which redeem and bind
+// them locally.
+type Deployer struct {
+	Agent *sharp.Agent
+	Sites map[string]*SiteRuntime
+
+	// Hops counts ticket/lease protocol steps for E5 symmetry with the
+	// Matchmaker's counter.
+	Hops int
+	// DeployedN / FailedN count slice deployments.
+	DeployedN, FailedN int
+}
+
+// Stock pulls a ticket of `amount` CPU from each named site into the
+// agent's inventory (Figure 2 steps 1-2, amortized over many requests).
+func (d *Deployer) Stock(amount float64, notBefore, notAfter time.Duration, sites ...string) error {
+	for _, s := range sites {
+		rt, ok := d.Sites[s]
+		if !ok {
+			return fmt.Errorf("broker: unknown site %q", s)
+		}
+		d.Hops += 2 // request + grant
+		tk, err := rt.Authority.IssueTicket(d.Agent.Name, d.Agent.Key(), capability.CPU, amount, notBefore, notAfter)
+		if err != nil {
+			return err
+		}
+		if err := d.Agent.Acquire(tk); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Inventory reports unsold CPU stock for a site.
+func (d *Deployer) Inventory(site string) float64 {
+	return d.Agent.Inventory(site, capability.CPU)
+}
+
+// DeploySlice builds a service's points of presence: for each requested
+// site, buy a ticket from the agent (steps 3-4), redeem it at the site
+// authority for a lease (5-6), then create a VM, bind the lease's
+// capability, and start it (7). On any site failing, already-built VMs
+// are torn down and their leases released (all-or-nothing, so a partial
+// CDN does not linger).
+func (d *Deployer) DeploySlice(sliceName string, sm *identity.Principal, cpuPerSite float64, notBefore, notAfter time.Duration, sites []string) (*vm.Slice, error) {
+	slice := vm.NewSlice(sliceName)
+	var leases []struct {
+		rt *SiteRuntime
+		l  *sharp.Lease
+	}
+	rollback := func() {
+		slice.StopAll()
+		for _, x := range leases {
+			x.rt.Authority.ReleaseLease(x.l)
+		}
+	}
+	for _, site := range sites {
+		rt, ok := d.Sites[site]
+		if !ok {
+			rollback()
+			return nil, fmt.Errorf("broker: unknown site %q", site)
+		}
+		d.Hops += 2 // buy request + ticket grant
+		tickets, err := d.Agent.Sell(sm.Name, sm.Public(), site, capability.CPU, cpuPerSite, notBefore, notAfter)
+		if err != nil {
+			d.FailedN++
+			rollback()
+			return nil, fmt.Errorf("%w: %v", ErrNoTickets, err)
+		}
+		v := vm.New(sliceName+"@"+site, rt.Node, rt.NM)
+		for _, tk := range tickets {
+			d.Hops += 2 // redeem + lease grant
+			lease, err := rt.Authority.Redeem(tk)
+			if err != nil {
+				d.FailedN++
+				rollback()
+				return nil, err
+			}
+			leases = append(leases, struct {
+				rt *SiteRuntime
+				l  *sharp.Lease
+			}{rt, lease})
+			if err := v.Bind(lease.CapID); err != nil {
+				d.FailedN++
+				rollback()
+				return nil, err
+			}
+		}
+		if err := v.Start(); err != nil {
+			d.FailedN++
+			rollback()
+			return nil, err
+		}
+		if err := slice.Add(v); err != nil {
+			d.FailedN++
+			rollback()
+			return nil, err
+		}
+	}
+	d.DeployedN++
+	return slice, nil
+}
+
+// BlastRadius describes what an attacker gains by compromising a broker —
+// the E5 comparison the paper motivates: a matchmaker leaks *identities*
+// (usable for anything, anywhere, until proxy expiry), a SHARP agent
+// leaks only *resource claims* (bounded amount, bounded interval, bounded
+// sites).
+type BlastRadius struct {
+	// IdentitiesExposed counts user proxies an attacker could replay.
+	IdentitiesExposed int
+	// ResourceExposed sums the CPU amount of unsold tickets.
+	ResourceExposed float64
+	// SitesExposed counts sites with exposed stock.
+	SitesExposed int
+}
+
+// MatchmakerBlastRadius computes the exposure of a compromised
+// identity-delegation broker.
+func MatchmakerBlastRadius(m *Matchmaker) BlastRadius {
+	return BlastRadius{IdentitiesExposed: len(m.HeldProxies())}
+}
+
+// DeployerBlastRadius computes the exposure of a compromised
+// usage-delegation broker.
+func DeployerBlastRadius(d *Deployer) BlastRadius {
+	var b BlastRadius
+	for site := range d.Sites {
+		if amt := d.Inventory(site); amt > 0 {
+			b.ResourceExposed += amt
+			b.SitesExposed++
+		}
+	}
+	return b
+}

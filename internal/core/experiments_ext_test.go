@@ -1,0 +1,131 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// row returns the fields of the i-th data row (0-based) of a rendered
+// table.
+func row(t *testing.T, table interface{ String() string }, i int) []string {
+	t.Helper()
+	lines := strings.Split(strings.TrimSpace(table.String()), "\n")
+	if len(lines) < i+3 {
+		t.Fatalf("table too short:\n%s", table.String())
+	}
+	return strings.Fields(lines[i+2])
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return f
+}
+
+func TestAvailabilityMonotone(t *testing.T) {
+	tab := RunAvailability(9, []int{1, 2, 4, 8}, 60*24*time.Hour)
+	prevAny, prevAll := -1.0, 2.0
+	for i := 0; i < 4; i++ {
+		r := row(t, tab, i)
+		anyUp := parseF(t, r[len(r)-2])
+		allUp := parseF(t, r[len(r)-1])
+		// §3.2: service availability rises with points of presence;
+		// co-allocation availability falls.
+		if anyUp < prevAny {
+			t.Errorf("any-up availability not monotone at k row %d: %v < %v", i, anyUp, prevAny)
+		}
+		if allUp > prevAll {
+			t.Errorf("all-up availability not antitone at k row %d: %v > %v", i, allUp, prevAll)
+		}
+		prevAny, prevAll = anyUp, allUp
+	}
+	// With 8 PoPs and ~5% per-site downtime, the service should be
+	// essentially always reachable.
+	r := row(t, tab, 3)
+	if anyUp := parseF(t, r[len(r)-2]); anyUp < 0.999 {
+		t.Errorf("8-PoP availability = %v, want ~1", anyUp)
+	}
+}
+
+func TestBackfillAblationShape(t *testing.T) {
+	tab := RunBackfillAblation(9, 16, 120)
+	easy := row(t, tab, 0)
+	fcfs := row(t, tab, 1)
+	// Backfill must actually backfill and must not lengthen mean wait.
+	backfilled, _ := strconv.Atoi(easy[len(easy)-1])
+	if backfilled == 0 {
+		t.Error("EASY run backfilled nothing")
+	}
+	if n, _ := strconv.Atoi(fcfs[len(fcfs)-1]); n != 0 {
+		t.Error("FCFS run backfilled jobs")
+	}
+	easyWait, err1 := time.ParseDuration(easy[2])
+	fcfsWait, err2 := time.ParseDuration(fcfs[2])
+	if err1 != nil || err2 != nil {
+		t.Fatalf("parse waits: %v %v", err1, err2)
+	}
+	if easyWait > fcfsWait {
+		t.Errorf("backfill increased mean wait: %v > %v", easyWait, fcfsWait)
+	}
+	// Utilization with backfill >= without.
+	if parseF(t, easy[len(easy)-2]) < parseF(t, fcfs[len(fcfs)-2]) {
+		t.Errorf("backfill lowered utilization:\n%s", tab.String())
+	}
+}
+
+func TestPoolingAblationShape(t *testing.T) {
+	tab := RunPoolingAblation(9, 400e6)
+	static := row(t, tab, 0)
+	pooled := row(t, tab, 1)
+	// Pooling must beat a static split on asymmetric paths.
+	if parseF(t, pooled[len(pooled)-1]) <= parseF(t, static[len(static)-1]) {
+		t.Errorf("pooling did not help:\n%s", tab.String())
+	}
+}
+
+func TestTTLAblationShape(t *testing.T) {
+	periods := []time.Duration{time.Minute, 10 * time.Minute}
+	tab := RunTTLAblation(9, periods, 50)
+	short := row(t, tab, 0)
+	long := row(t, tab, 1)
+	shortStale, _ := time.ParseDuration(short[1])
+	longStale, _ := time.ParseDuration(long[1])
+	if shortStale >= longStale {
+		t.Errorf("staleness did not grow with period: %v vs %v", shortStale, longStale)
+	}
+	if parseF(t, short[2]) <= parseF(t, long[2]) {
+		t.Errorf("traffic did not shrink with period:\n%s", tab.String())
+	}
+	// Staleness is bounded by the period (plus propagation).
+	if longStale > periods[1]+time.Minute {
+		t.Errorf("staleness %v exceeds period %v", longStale, periods[1])
+	}
+}
+
+func TestBackfillDisabledStillCorrect(t *testing.T) {
+	// The FCFS path must preserve reservation correctness: a reserved
+	// window still excludes queued jobs.
+	tab := RunBackfillAblation(11, 8, 40)
+	if !strings.Contains(tab.String(), "pure FCFS") {
+		t.Fatalf("missing FCFS row:\n%s", tab.String())
+	}
+}
+
+func TestManagedAvailabilityBeatsStatic(t *testing.T) {
+	tab := RunManagedAvailability(9, 3, 60*24*time.Hour)
+	managed := row(t, tab, 0)
+	static := row(t, tab, 1)
+	mFrac := parseF(t, managed[len(managed)-2])
+	sFrac := parseF(t, static[len(static)-2])
+	if mFrac > sFrac {
+		t.Errorf("managed degraded %v > static %v:\n%s", mFrac, sFrac, tab.String())
+	}
+	if n, _ := strconv.Atoi(managed[len(managed)-1]); n == 0 {
+		t.Error("managed service never redeployed")
+	}
+}

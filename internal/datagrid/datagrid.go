@@ -1,0 +1,273 @@
+// Package datagrid implements the Section-5 cooperation scenario: "We
+// believe that layering Globus on top of PlanetLab can significantly
+// strengthen the data grid infrastructure." It provides the three
+// services the paper names:
+//
+//   - a Giggle-style replica location service (local replica catalogs
+//     plus a replica location index) [Chervenak et al.],
+//   - a GridFTP-style transfer service that "can split data transfers
+//     over multiple TCP streams to increase transfer throughput when data
+//     is striped across multiple nodes", integrated with GSI
+//     authorization, and
+//   - an mTCP/BANANAS-style overlay path service that monitors the
+//     simulated Internet and picks relay paths to "improve transfer
+//     throughput between two endpoints" via multipath routing.
+package datagrid
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/gsi"
+	"repro/internal/identity"
+	"repro/internal/simnet"
+)
+
+// Service errors.
+var (
+	ErrUnknownLogical = errors.New("datagrid: unknown logical file")
+	ErrNoReplica      = errors.New("datagrid: no replica available")
+	ErrUnauthorized   = errors.New("datagrid: transfer not authorized")
+)
+
+// Replica is one physical copy of a logical file.
+type Replica struct {
+	Host  string
+	Bytes float64
+}
+
+// LRC is a local replica catalog: logical name -> replicas at this site.
+type LRC struct {
+	Site     string
+	replicas map[string][]Replica
+}
+
+// NewLRC returns an empty local catalog.
+func NewLRC(site string) *LRC {
+	return &LRC{Site: site, replicas: make(map[string][]Replica)}
+}
+
+// Register records a physical replica for a logical name.
+func (l *LRC) Register(logical string, r Replica) {
+	l.replicas[logical] = append(l.replicas[logical], r)
+}
+
+// Lookup returns this site's replicas for a logical name.
+func (l *LRC) Lookup(logical string) []Replica {
+	return append([]Replica(nil), l.replicas[logical]...)
+}
+
+// Logicals returns the catalog's logical names, sorted.
+func (l *LRC) Logicals() []string {
+	out := make([]string, 0, len(l.replicas))
+	for n := range l.replicas {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RLI is the replica location index: it maps logical names to the LRCs
+// that hold replicas (the two-tier Giggle design).
+type RLI struct {
+	lrcs  map[string]*LRC
+	index map[string]map[string]bool // logical -> site set
+}
+
+// NewRLI returns an empty index.
+func NewRLI() *RLI {
+	return &RLI{lrcs: make(map[string]*LRC), index: make(map[string]map[string]bool)}
+}
+
+// Attach registers an LRC and absorbs its current contents (soft-state
+// refresh in deployments; here a direct sync keeps the model simple and
+// the staleness dimension lives in package mds).
+func (r *RLI) Attach(l *LRC) {
+	r.lrcs[l.Site] = l
+	r.Refresh(l.Site)
+}
+
+// Refresh re-imports one site's logical names.
+func (r *RLI) Refresh(site string) {
+	l, ok := r.lrcs[site]
+	if !ok {
+		return
+	}
+	for _, name := range l.Logicals() {
+		if r.index[name] == nil {
+			r.index[name] = make(map[string]bool)
+		}
+		r.index[name][site] = true
+	}
+}
+
+// Locate returns every replica of a logical name across all sites,
+// sorted by host for determinism.
+func (r *RLI) Locate(logical string) ([]Replica, error) {
+	sites, ok := r.index[logical]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownLogical, logical)
+	}
+	var out []Replica
+	siteNames := make([]string, 0, len(sites))
+	for s := range sites {
+		siteNames = append(siteNames, s)
+	}
+	sort.Strings(siteNames)
+	for _, s := range siteNames {
+		out = append(out, r.lrcs[s].Lookup(logical)...)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: %q", ErrNoReplica, logical)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Host < out[j].Host })
+	return out, nil
+}
+
+// PathEstimate scores one candidate route.
+type PathEstimate struct {
+	Relays []string // nil = direct
+	// RateBps is the predicted steady-state TCP rate: the minimum of the
+	// path's link capacities and its Mathis loss bound.
+	RateBps float64
+	RTT     time.Duration
+	Loss    float64
+}
+
+// EstimatePath predicts the achievable single-stream rate over
+// src -> relays... -> dst, the overlay's "monitoring the Internet" step.
+func EstimatePath(net *simnet.Network, src, dst string, relays []string) (PathEstimate, error) {
+	hops := append([]string{src}, append(relays, dst)...)
+	var rtt time.Duration
+	survive := 1.0
+	minCap := math.Inf(1)
+	for i := 0; i+1 < len(hops); i++ {
+		a, b := net.Host(hops[i]), net.Host(hops[i+1])
+		if a == nil || b == nil {
+			return PathEstimate{}, simnet.ErrNoSuchHost
+		}
+		if a.Down() || b.Down() {
+			return PathEstimate{}, simnet.ErrHostDown
+		}
+		if net.Partitioned(a.Site, b.Site) {
+			return PathEstimate{}, simnet.ErrPartitioned
+		}
+		rtt += 2 * net.Latency(a.Site, b.Site)
+		survive *= 1 - net.Loss(a.Site, b.Site)
+		if c := a.LinkBps(); c < minCap {
+			minCap = c
+		}
+		if c := b.LinkBps(); c < minCap {
+			minCap = c
+		}
+	}
+	loss := 1 - survive
+	rate := minCap
+	if loss > 0 {
+		mathis := net.MTU / (rtt.Seconds() * math.Sqrt(2*loss/3))
+		if mathis < rate {
+			rate = mathis
+		}
+	}
+	return PathEstimate{Relays: relays, RateBps: rate, RTT: rtt, Loss: loss}, nil
+}
+
+// BestPaths ranks the direct path and every single-relay path through the
+// candidates by predicted rate and returns the top k (k >= 1). This is
+// the path-selection half of the mTCP service.
+func BestPaths(net *simnet.Network, src, dst string, candidates []string, k int) []PathEstimate {
+	var ests []PathEstimate
+	if e, err := EstimatePath(net, src, dst, nil); err == nil {
+		ests = append(ests, e)
+	}
+	for _, relay := range candidates {
+		if relay == src || relay == dst {
+			continue
+		}
+		if e, err := EstimatePath(net, src, dst, []string{relay}); err == nil {
+			ests = append(ests, e)
+		}
+	}
+	sort.SliceStable(ests, func(i, j int) bool { return ests[i].RateBps > ests[j].RateBps })
+	if k < 1 {
+		k = 1
+	}
+	if len(ests) > k {
+		ests = ests[:k]
+	}
+	return ests
+}
+
+// TransferService is the GridFTP head: GSI-authorized, striped,
+// optionally multipath third-party transfers.
+type TransferService struct {
+	Net    *simnet.Network
+	Policy *gsi.SitePolicy
+
+	// TransferN and BytesMoved count completed transfers.
+	TransferN  int
+	BytesMoved float64
+}
+
+// TransferOpts selects striping and routing.
+type TransferOpts struct {
+	// Streams is the stripe width (parallel TCP streams).
+	Streams int
+	// Relays, when non-empty, enables multipath across the direct path
+	// plus one relay path per listed relay, with mTCP-style pooling.
+	Relays []string
+}
+
+// Transfer authorizes cred for the "transfer" right, then moves bytes
+// from src to dst, invoking done with the completed flow.
+func (s *TransferService) Transfer(cred *identity.Credential, src, dst string, bytes float64, opts TransferOpts, done func(*simnet.Flow, error)) {
+	now := s.Net.Engine().Now()
+	if _, _, err := s.Policy.Admit(cred, "transfer", now); err != nil {
+		done(nil, fmt.Errorf("%w: %v", ErrUnauthorized, err))
+		return
+	}
+	fo := simnet.FlowOpts{Streams: opts.Streams}
+	if len(opts.Relays) > 0 {
+		fo.Paths = [][]string{nil}
+		for _, r := range opts.Relays {
+			fo.Paths = append(fo.Paths, []string{r})
+		}
+		fo.Pooled = true
+		if fo.Streams < len(fo.Paths) {
+			fo.Streams = len(fo.Paths)
+		}
+	}
+	_, err := s.Net.StartFlow(src, dst, bytes, fo, func(f *simnet.Flow) {
+		s.TransferN++
+		s.BytesMoved += bytes
+		done(f, nil)
+	})
+	if err != nil {
+		done(nil, err)
+	}
+}
+
+// FetchBest resolves a logical name through the RLI, picks the replica
+// whose path to dst has the highest predicted rate, and transfers it.
+func (s *TransferService) FetchBest(cred *identity.Credential, rli *RLI, logical, dst string, opts TransferOpts, done func(*simnet.Flow, error)) {
+	reps, err := rli.Locate(logical)
+	if err != nil {
+		done(nil, err)
+		return
+	}
+	best := -1
+	bestRate := -1.0
+	for i, r := range reps {
+		if e, err := EstimatePath(s.Net, r.Host, dst, nil); err == nil && e.RateBps > bestRate {
+			best, bestRate = i, e.RateBps
+		}
+	}
+	if best < 0 {
+		done(nil, ErrNoReplica)
+		return
+	}
+	s.Transfer(cred, reps[best].Host, dst, reps[best].Bytes, opts, done)
+}

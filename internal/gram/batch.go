@@ -1,0 +1,336 @@
+package gram
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// BatchManager is a space-shared cluster scheduler: jobs request `count`
+// slots for up to `maxWallTime`, queue FCFS, start via EASY backfill, and
+// may claim advance reservations. It models "a queuing system supporting
+// reservations on a cluster" — the enforcement backend the paper names
+// for WS-Agreement on the Globus side.
+type BatchManager struct {
+	eng   *sim.Engine
+	name  string
+	Slots int
+	// MaxQueue bounds the pending queue (0 = unbounded).
+	MaxQueue int
+	// DisableBackfill turns EASY backfill off (pure FCFS), for the
+	// scheduling ablation.
+	DisableBackfill bool
+
+	queue        []*Job
+	running      map[*Job]*commitment
+	reservations map[string]*Reservation
+	resSeq       int
+	timer        *sim.Timer
+
+	// Counters for experiment accounting.
+	CompletedN, BackfilledN, WallKillN int
+}
+
+// commitment is a slot claim over a time interval.
+type commitment struct {
+	start, end time.Duration
+	count      int
+}
+
+// Reservation is an admitted advance reservation.
+type Reservation struct {
+	ID    string
+	Start time.Duration
+	End   time.Duration
+	Count int
+
+	claimed bool
+}
+
+// NewBatchManager creates a batch scheduler with the given machine size.
+func NewBatchManager(eng *sim.Engine, name string, slots int) *BatchManager {
+	if slots <= 0 {
+		panic(fmt.Sprintf("gram: batch manager %q needs positive slots, got %d", name, slots))
+	}
+	m := &BatchManager{
+		eng:          eng,
+		name:         name,
+		Slots:        slots,
+		running:      make(map[*Job]*commitment),
+		reservations: make(map[string]*Reservation),
+	}
+	m.timer = eng.NewTimer(m.kick)
+	return m
+}
+
+// Name implements Manager.
+func (m *BatchManager) Name() string { return m.name }
+
+// QueueLen returns the number of pending jobs.
+func (m *BatchManager) QueueLen() int { return len(m.queue) }
+
+// RunningN returns the number of active jobs.
+func (m *BatchManager) RunningN() int { return len(m.running) }
+
+// commitments returns all current slot claims: running jobs (to their
+// estimated ends) and unclaimed reservations.
+func (m *BatchManager) commitments() []commitment {
+	now := m.eng.Now()
+	out := make([]commitment, 0, len(m.running)+len(m.reservations))
+	for _, c := range m.running {
+		out = append(out, *c)
+	}
+	for _, r := range m.reservations {
+		if r.claimed || r.End <= now {
+			continue
+		}
+		start := r.Start
+		if start < now {
+			start = now
+		}
+		out = append(out, commitment{start: start, end: r.End, count: r.Count})
+	}
+	return out
+}
+
+// minFree returns the minimum free slot count over [t0, t1) given the
+// commitments plus an optional extra commitment.
+func (m *BatchManager) minFree(cs []commitment, t0, t1 time.Duration) int {
+	// Evaluate at t0 and at every commitment boundary inside the window.
+	points := []time.Duration{t0}
+	for _, c := range cs {
+		if c.start > t0 && c.start < t1 {
+			points = append(points, c.start)
+		}
+	}
+	min := m.Slots + 1
+	for _, p := range points {
+		used := 0
+		for _, c := range cs {
+			if c.start <= p && p < c.end {
+				used += c.count
+			}
+		}
+		if free := m.Slots - used; free < min {
+			min = free
+		}
+	}
+	return min
+}
+
+// earliestStart finds the first time >= after at which count slots are
+// free for dur, given commitments.
+func (m *BatchManager) earliestStart(cs []commitment, count int, dur, after time.Duration) time.Duration {
+	// Candidate start times: `after` and each commitment end after it.
+	cands := []time.Duration{after}
+	for _, c := range cs {
+		if c.end > after {
+			cands = append(cands, c.end)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	for _, t := range cands {
+		if m.minFree(cs, t, t+dur) >= count {
+			return t
+		}
+	}
+	// Unreachable when count <= Slots: after the last commitment ends the
+	// machine is empty.
+	panic("gram: no feasible start found")
+}
+
+// Submit implements Manager.
+func (m *BatchManager) Submit(j *Job) error {
+	if j.State() != Unsubmitted {
+		return fmt.Errorf("%w: submit in %v", ErrBadState, j.State())
+	}
+	wall, err := j.MaxWall()
+	if err != nil {
+		j.FailReason = err
+		j.transition(Failed)
+		return err
+	}
+	if j.Count() > m.Slots {
+		j.FailReason = fmt.Errorf("%w: %d > %d", ErrTooManySlots, j.Count(), m.Slots)
+		j.transition(Failed)
+		return j.FailReason
+	}
+	if m.MaxQueue > 0 && len(m.queue) >= m.MaxQueue {
+		j.FailReason = ErrQueueFull
+		j.transition(Failed)
+		return ErrQueueFull
+	}
+	j.Submitted = m.eng.Now()
+
+	// A job naming a reservation claims it rather than queueing.
+	if resID := j.Req.StringDefault("reservation", ""); resID != "" {
+		return m.claim(j, resID, wall)
+	}
+	j.transition(Pending)
+	m.queue = append(m.queue, j)
+	m.kick()
+	return nil
+}
+
+// Reserve admits an advance reservation of count slots over
+// [start, start+dur), returning its ID, or ErrInfeasible when the window
+// cannot be guaranteed alongside existing commitments.
+func (m *BatchManager) Reserve(start, dur time.Duration, count int) (string, error) {
+	if count > m.Slots {
+		return "", fmt.Errorf("%w: %d > %d", ErrTooManySlots, count, m.Slots)
+	}
+	if start < m.eng.Now() {
+		return "", fmt.Errorf("%w: start %v in the past", ErrInfeasible, start)
+	}
+	if m.minFree(m.commitments(), start, start+dur) < count {
+		return "", ErrInfeasible
+	}
+	m.resSeq++
+	id := fmt.Sprintf("%s-r%d", m.name, m.resSeq)
+	m.reservations[id] = &Reservation{ID: id, Start: start, End: start + dur, Count: count}
+	// An admitted reservation shrinks what backfill may use.
+	m.kick()
+	return id, nil
+}
+
+// CancelReservation drops an unclaimed reservation.
+func (m *BatchManager) CancelReservation(id string) error {
+	r, ok := m.reservations[id]
+	if !ok || r.claimed {
+		return ErrNoReservation
+	}
+	delete(m.reservations, id)
+	m.kick()
+	return nil
+}
+
+// claim starts a job inside its reservation window.
+func (m *BatchManager) claim(j *Job, resID string, wall time.Duration) error {
+	r, ok := m.reservations[resID]
+	now := m.eng.Now()
+	if !ok || r.claimed || now >= r.End {
+		j.FailReason = ErrNoReservation
+		j.transition(Failed)
+		return ErrNoReservation
+	}
+	if j.Count() > r.Count {
+		j.FailReason = fmt.Errorf("%w: job wants %d, reservation holds %d", ErrNoReservation, j.Count(), r.Count)
+		j.transition(Failed)
+		return j.FailReason
+	}
+	j.transition(Pending)
+	if now >= r.Start {
+		m.startReserved(j, r, wall)
+		return nil
+	}
+	// Claim at window open.
+	m.eng.At(r.Start, func() {
+		if j.State() == Pending {
+			m.startReserved(j, r, wall)
+		}
+	})
+	return nil
+}
+
+func (m *BatchManager) startReserved(j *Job, r *Reservation, wall time.Duration) {
+	r.claimed = true
+	now := m.eng.Now()
+	end := now + wall
+	if end > r.End {
+		end = r.End // the guarantee stops at the window edge
+	}
+	m.start(j, end-now)
+	m.kick()
+}
+
+// start moves a job to Active and schedules its completion or wall kill.
+func (m *BatchManager) start(j *Job, wall time.Duration) {
+	now := m.eng.Now()
+	j.Started = now
+	c := &commitment{start: now, end: now + wall, count: j.Count()}
+	m.running[j] = c
+	j.transition(Active)
+	if j.Spec.ActualRun <= wall {
+		m.eng.Schedule(j.Spec.ActualRun, func() { m.finish(j, Done, nil) })
+	} else {
+		m.eng.Schedule(wall, func() {
+			m.WallKillN++
+			m.finish(j, Failed, fmt.Errorf("gram: %s exceeded wall limit %v", j.ID, wall))
+		})
+	}
+}
+
+func (m *BatchManager) finish(j *Job, to JobState, reason error) {
+	if _, ok := m.running[j]; !ok {
+		return
+	}
+	delete(m.running, j)
+	j.Ended = m.eng.Now()
+	j.FailReason = reason
+	if to == Done {
+		m.CompletedN++
+	}
+	j.transition(to)
+	m.kick()
+}
+
+// Cancel implements Manager.
+func (m *BatchManager) Cancel(j *Job) error {
+	for i, q := range m.queue {
+		if q == j {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			j.Ended = m.eng.Now()
+			j.transition(Cancelled)
+			return nil
+		}
+	}
+	if _, ok := m.running[j]; ok {
+		delete(m.running, j)
+		j.Ended = m.eng.Now()
+		j.transition(Cancelled)
+		m.kick()
+		return nil
+	}
+	return ErrUnknownJob
+}
+
+// kick runs one EASY-backfill scheduling pass and arms the timer for the
+// next decision point.
+func (m *BatchManager) kick() {
+	now := m.eng.Now()
+	for len(m.queue) > 0 {
+		head := m.queue[0]
+		wall, _ := head.MaxWall()
+		cs := m.commitments()
+		t := m.earliestStart(cs, head.Count(), wall, now)
+		if t == now {
+			m.queue = m.queue[1:]
+			m.start(head, wall)
+			continue
+		}
+		// Head is blocked until its shadow time t. Pin a shadow
+		// commitment for it, then backfill later jobs that fit *now*
+		// without disturbing the shadow.
+		if !m.DisableBackfill {
+			shadow := commitment{start: t, end: t + wall, count: head.Count()}
+			var rest []*Job
+			for _, j := range m.queue[1:] {
+				jw, _ := j.MaxWall()
+				csNow := append(m.commitments(), shadow)
+				if m.minFree(csNow, now, now+jw) >= j.Count() {
+					m.start(j, jw)
+					m.BackfilledN++
+					continue
+				}
+				rest = append(rest, j)
+			}
+			m.queue = append(m.queue[:1], rest...)
+		}
+		// Re-kick at the shadow time (or earlier events re-kick us).
+		m.timer.Reset(t - now)
+		return
+	}
+	m.timer.Stop()
+}

@@ -1,0 +1,29 @@
+package gram
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/rsl"
+	"repro/internal/sim"
+)
+
+func BenchmarkBatchSubmitCycle(b *testing.B) {
+	eng := sim.NewEngine(1)
+	m := NewBatchManager(eng, "batch", 64)
+	spec, _ := rsl.Parse(`&(executable=x)(count=4)(maxWallTime=600)`)
+	req, _ := spec.Single()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := &Job{ID: fmt.Sprintf("j%d", i), Req: req,
+			Spec: JobSpec{ActualRun: 5 * time.Minute}}
+		if err := m.Submit(j); err != nil {
+			b.Fatal(err)
+		}
+		if i%256 == 255 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}

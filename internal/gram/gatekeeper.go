@@ -1,0 +1,251 @@
+package gram
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/gsi"
+	"repro/internal/identity"
+	"repro/internal/rsl"
+	"repro/internal/simnet"
+)
+
+// Service names the gatekeeper registers on its host.
+const (
+	SvcSubmit  = "gram.submit"
+	SvcStatus  = "gram.status"
+	SvcCancel  = "gram.cancel"
+	SvcReserve = "gram.reserve"
+)
+
+// SubmitRequest is the wire form of a job submission: the caller's
+// delegated credential travels with the job ("the scheduler receives jobs
+// descriptions from users and submits them to individual sites on behalf
+// of these users").
+type SubmitRequest struct {
+	Cred *identity.Credential
+	Spec JobSpec
+	// Manager selects the job manager; empty picks the default.
+	Manager string
+	// CallbackHost/Service receive asynchronous state notifications.
+	CallbackHost    string
+	CallbackService string
+}
+
+// SubmitReply acknowledges a submission.
+type SubmitReply struct {
+	JobID string
+	State JobState
+}
+
+// StateNotice is pushed to the callback contact on every transition.
+type StateNotice struct {
+	JobID string
+	State JobState
+	// Reason is the failure reason, when failed.
+	Reason string
+}
+
+// StatusReply answers a status poll.
+type StatusReply struct {
+	State JobState
+}
+
+// ReserveRequest asks the batch manager for an advance reservation.
+type ReserveRequest struct {
+	Cred    *identity.Credential
+	Manager string
+	Start   time.Duration
+	Dur     time.Duration
+	Count   int
+}
+
+// ReserveReply returns the reservation handle.
+type ReserveReply struct {
+	ReservationID string
+}
+
+// Gatekeeper is a site's GRAM front door: it authenticates with GSI,
+// authorizes through the site gridmap, and dispatches to job managers.
+type Gatekeeper struct {
+	net    *simnet.Network
+	host   *simnet.Host
+	policy *gsi.SitePolicy
+
+	managers map[string]Manager
+	def      string
+	jobs     map[string]*Job
+	seq      int
+
+	// AuthFailN counts rejected submissions, SubmitN accepted ones.
+	AuthFailN, SubmitN int
+}
+
+// NewGatekeeper installs a gatekeeper on host with the given site policy.
+func NewGatekeeper(net *simnet.Network, host *simnet.Host, policy *gsi.SitePolicy) *Gatekeeper {
+	g := &Gatekeeper{
+		net:      net,
+		host:     host,
+		policy:   policy,
+		managers: make(map[string]Manager),
+		jobs:     make(map[string]*Job),
+	}
+	host.Handle(SvcSubmit, g.handleSubmit)
+	host.Handle(SvcStatus, g.handleStatus)
+	host.Handle(SvcCancel, g.handleCancel)
+	host.Handle(SvcReserve, g.handleReserve)
+	return g
+}
+
+// AddManager registers a job manager; the first one becomes the default.
+func (g *Gatekeeper) AddManager(name string, m Manager) {
+	if len(g.managers) == 0 {
+		g.def = name
+	}
+	g.managers[name] = m
+}
+
+// Job returns a job by ID (local API, used in tests and by managers).
+func (g *Gatekeeper) Job(id string) *Job { return g.jobs[id] }
+
+// UsageByOwner aggregates charged core-seconds per authenticated grid
+// subject — the site-side accounting record that motivates identity
+// delegation ("the frequent requirement to be able to associate resource
+// usage with specific individuals rather than communities or services").
+func (g *Gatekeeper) UsageByOwner() map[string]float64 {
+	out := make(map[string]float64)
+	for _, j := range g.jobs {
+		if cs := j.ChargedCoreSeconds(); cs > 0 {
+			out[j.Spec.Owner] += cs
+		}
+	}
+	return out
+}
+
+func (g *Gatekeeper) handleSubmit(from string, raw any) (any, error) {
+	req, ok := raw.(SubmitRequest)
+	if !ok {
+		return nil, fmt.Errorf("gram: bad submit payload %T", raw)
+	}
+	now := g.net.Engine().Now()
+	local, subject, err := g.policy.Admit(req.Cred, "submit", now)
+	if err != nil {
+		g.AuthFailN++
+		return nil, err
+	}
+	spec, err := rsl.Parse(req.Spec.RSL)
+	if err != nil {
+		return nil, err
+	}
+	r, err := spec.Single()
+	if err != nil {
+		return nil, err
+	}
+	mgrName := req.Manager
+	if mgrName == "" {
+		mgrName = r.StringDefault("jobmanager", g.def)
+	}
+	mgr, ok := g.managers[mgrName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchManager, mgrName)
+	}
+	g.seq++
+	job := &Job{
+		ID:  fmt.Sprintf("%s/%d", g.host.Name, g.seq),
+		Req: r,
+		Spec: JobSpec{
+			RSL:          req.Spec.RSL,
+			ActualRun:    req.Spec.ActualRun,
+			Owner:        subject,
+			LocalAccount: local,
+		},
+	}
+	if req.CallbackHost != "" {
+		cbHost, cbSvc := req.CallbackHost, req.CallbackService
+		job.OnState = func(j *Job, s JobState) {
+			n := StateNotice{JobID: j.ID, State: s}
+			if j.FailReason != nil {
+				n.Reason = j.FailReason.Error()
+			}
+			g.net.Send(g.host.Name, cbHost, cbSvc, n)
+		}
+	}
+	g.jobs[job.ID] = job
+	if err := mgr.Submit(job); err != nil {
+		return nil, err
+	}
+	g.SubmitN++
+	return SubmitReply{JobID: job.ID, State: job.State()}, nil
+}
+
+func (g *Gatekeeper) handleStatus(from string, raw any) (any, error) {
+	id, ok := raw.(string)
+	if !ok {
+		return nil, fmt.Errorf("gram: bad status payload %T", raw)
+	}
+	j, ok := g.jobs[id]
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	return StatusReply{State: j.State()}, nil
+}
+
+func (g *Gatekeeper) handleCancel(from string, raw any) (any, error) {
+	id, ok := raw.(string)
+	if !ok {
+		return nil, fmt.Errorf("gram: bad cancel payload %T", raw)
+	}
+	j, ok := g.jobs[id]
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	// Find the manager holding it by asking each; managers return
+	// ErrUnknownJob for jobs they do not hold.
+	for _, m := range g.managers {
+		if err := m.Cancel(j); err == nil {
+			return StatusReply{State: j.State()}, nil
+		}
+	}
+	return nil, ErrUnknownJob
+}
+
+func (g *Gatekeeper) handleReserve(from string, raw any) (any, error) {
+	req, ok := raw.(ReserveRequest)
+	if !ok {
+		return nil, fmt.Errorf("gram: bad reserve payload %T", raw)
+	}
+	now := g.net.Engine().Now()
+	if _, _, err := g.policy.Admit(req.Cred, "reserve", now); err != nil {
+		g.AuthFailN++
+		return nil, err
+	}
+	mgrName := req.Manager
+	if mgrName == "" {
+		mgrName = g.def
+	}
+	mgr, ok := g.managers[mgrName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchManager, mgrName)
+	}
+	bm, ok := mgr.(*BatchManager)
+	if !ok {
+		return nil, fmt.Errorf("gram: manager %q does not support reservations", mgrName)
+	}
+	id, err := bm.Reserve(req.Start, req.Dur, req.Count)
+	if err != nil {
+		return nil, err
+	}
+	return ReserveReply{ReservationID: id}, nil
+}
+
+// Submit is the client-side helper: send a job to a gatekeeper host and
+// deliver the reply asynchronously.
+func Submit(net *simnet.Network, from, gatekeeper string, req SubmitRequest, timeout time.Duration, done func(SubmitReply, error)) {
+	net.Call(from, gatekeeper, SvcSubmit, req, timeout, func(resp any, err error) {
+		if err != nil {
+			done(SubmitReply{}, err)
+			return
+		}
+		done(resp.(SubmitReply), nil)
+	})
+}

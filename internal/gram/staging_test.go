@@ -1,0 +1,126 @@
+package gram
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+func TestStagedSubmitFullLifecycle(t *testing.T) {
+	f := newGKFixture(t)
+	var res StagedResult
+	var err error
+	got := false
+	SubmitStaged(f.net, "client", "gk", StagedRequest{
+		Submit: SubmitRequest{
+			Cred: f.alice,
+			Spec: JobSpec{RSL: `&(executable=/bin/sim)(count=2)(maxWallTime=600)`, ActualRun: 5 * time.Minute},
+		},
+		StageInBytes:  10e6, // 10 MB in
+		StageOutBytes: 50e6, // 50 MB of results out
+		Streams:       4,
+	}, time.Hour, func(r StagedResult, e error) { res, err, got = r, e, true })
+	f.eng.Run()
+	if !got {
+		t.Fatal("staged submit never completed")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final != Done || res.JobID == "" {
+		t.Errorf("result = %+v", res)
+	}
+	// Both transfers took real time over the 1e6 B/s links.
+	if res.StageIn < 9*time.Second || res.StageIn > 12*time.Second {
+		t.Errorf("stage-in = %v, want ~10s", res.StageIn)
+	}
+	if res.StageOut < 45*time.Second || res.StageOut > 60*time.Second {
+		t.Errorf("stage-out = %v, want ~50s", res.StageOut)
+	}
+	// The job itself is Done at the gatekeeper.
+	if f.gk.Job(res.JobID).State() != Done {
+		t.Error("job not done at site")
+	}
+}
+
+func TestStagedSubmitNoData(t *testing.T) {
+	f := newGKFixture(t)
+	var res StagedResult
+	var err error
+	SubmitStaged(f.net, "client", "gk", StagedRequest{
+		Submit: SubmitRequest{
+			Cred: f.alice,
+			Spec: JobSpec{RSL: `&(executable=x)(maxWallTime=60)`, ActualRun: time.Second},
+		},
+	}, time.Hour, func(r StagedResult, e error) { res, err = r, e })
+	f.eng.Run()
+	if err != nil || res.Final != Done {
+		t.Fatalf("no-data staged = (%+v, %v)", res, err)
+	}
+	if res.StageIn != 0 || res.StageOut != 0 {
+		t.Errorf("phantom staging times: %+v", res)
+	}
+}
+
+func TestStagedSubmitAuthFailureAfterStageIn(t *testing.T) {
+	f := newGKFixture(t)
+	var err error
+	SubmitStaged(f.net, "client", "gk", StagedRequest{
+		Submit: SubmitRequest{
+			Cred: f.evil, // unmapped subject
+			Spec: JobSpec{RSL: `&(executable=x)(maxWallTime=60)`, ActualRun: time.Second},
+		},
+		StageInBytes: 1e6,
+	}, time.Hour, func(_ StagedResult, e error) { err = e })
+	f.eng.Run()
+	if err == nil {
+		t.Fatal("unauthorized staged submit succeeded")
+	}
+}
+
+func TestStagedSubmitFailedJobSkipsStageOut(t *testing.T) {
+	f := newGKFixture(t)
+	var res StagedResult
+	var err error
+	SubmitStaged(f.net, "client", "gk", StagedRequest{
+		Submit: SubmitRequest{
+			Cred: f.alice,
+			// Exceeds the wall limit -> Failed at the site.
+			Spec: JobSpec{RSL: `&(executable=x)(maxWallTime=60)`, ActualRun: time.Hour},
+		},
+		StageOutBytes: 100e6,
+	}, time.Hour, func(r StagedResult, e error) { res, err = r, e })
+	f.eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final != Failed {
+		t.Errorf("final = %v, want failed", res.Final)
+	}
+	if res.StageOut != 0 {
+		t.Error("stage-out ran for a failed job")
+	}
+}
+
+func TestStagedSubmitStageInKilledByFailure(t *testing.T) {
+	f := newGKFixture(t)
+	var err error
+	got := false
+	SubmitStaged(f.net, "client", "gk", StagedRequest{
+		Submit: SubmitRequest{
+			Cred: f.alice,
+			Spec: JobSpec{RSL: `&(executable=x)(maxWallTime=60)`, ActualRun: time.Second},
+		},
+		StageInBytes: 1e9, // long transfer
+	}, time.Hour, func(_ StagedResult, e error) { err, got = e, true })
+	f.eng.Schedule(time.Second, func() { f.net.SetDown("gk", true) })
+	f.eng.Run()
+	if !got {
+		t.Fatal("no completion after kill")
+	}
+	if !errors.Is(err, ErrStageFailed) || !errors.Is(err, simnet.ErrHostDown) {
+		t.Errorf("err = %v, want ErrStageFailed wrapping ErrHostDown", err)
+	}
+}

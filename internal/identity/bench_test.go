@@ -1,0 +1,38 @@
+package identity
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func benchFixture(b *testing.B) (*rand.Rand, *Verifier, *Credential) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	ca := NewCA("ca", 1e6*time.Hour, rng)
+	user := NewPrincipal("user", rng)
+	cred := UserCredential(user, ca.IssueUser(user, 0, 1e5*time.Hour))
+	return rng, NewVerifier(ca), cred
+}
+
+func BenchmarkDelegateProxy(b *testing.B) {
+	rng, _, cred := benchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cred.Delegate("p", 0, time.Hour, nil, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkValidateProxyChain(b *testing.B) {
+	rng, v, cred := benchFixture(b)
+	proxy, _ := cred.Delegate("p", 0, time.Hour, nil, rng)
+	deep, _ := proxy.Delegate("p2", 0, time.Hour, nil, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.Validate(deep, time.Minute); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

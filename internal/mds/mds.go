@@ -1,0 +1,332 @@
+// Package mds implements the discovery and monitoring plane: per-resource
+// information providers (GRIS), an aggregating index service (GIIS) fed by
+// soft-state registrations over the network, and an attribute-filter query
+// language. This is the Globus MDS-2 architecture; PlanetLab's per-node
+// sensors feeding services like Sophia/CoMon are structurally the same
+// push-with-TTL pattern, so both stacks reuse this package with different
+// refresh policies.
+//
+// The E3 scale experiment measures what the paper asserts about
+// deployment scale (GT "in production use across VOs integrating resources
+// from 20-50 sites ... expected to scale to 100s"): registration traffic
+// grows with resource count while query staleness depends on the refresh
+// interval.
+package mds
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// SvcRegister and SvcQuery are the GIIS service names on its host.
+const (
+	SvcRegister = "mds.register"
+	SvcQuery    = "mds.query"
+)
+
+// ErrBadFilter reports an unusable query filter.
+var ErrBadFilter = errors.New("mds: bad filter")
+
+// Provider produces the current attribute snapshot of one resource.
+type Provider func() map[string]string
+
+// Record is a registered resource snapshot held by an index.
+type Record struct {
+	Name  string
+	Attrs map[string]string
+	// Stamp is when the snapshot was taken at the source.
+	Stamp time.Duration
+}
+
+// Registration is the wire form GRIS pushes to GIIS.
+type Registration struct {
+	Rec Record
+	// TTL bounds how long the index may serve this snapshot.
+	TTL time.Duration
+}
+
+// FilterOp is a query comparison operator.
+type FilterOp int
+
+// The filter operators. Numeric comparisons parse both sides as floats
+// and fail the match when either side is non-numeric.
+const (
+	FEq FilterOp = iota
+	FNe
+	FLt
+	FLe
+	FGt
+	FGe
+)
+
+// Filter is one attribute comparison.
+type Filter struct {
+	Attr  string
+	Op    FilterOp
+	Value string
+}
+
+// Match evaluates the filter against an attribute set.
+func (f Filter) Match(attrs map[string]string) bool {
+	got, ok := attrs[f.Attr]
+	if !ok {
+		return false
+	}
+	switch f.Op {
+	case FEq:
+		return got == f.Value
+	case FNe:
+		return got != f.Value
+	}
+	a, errA := strconv.ParseFloat(got, 64)
+	b, errB := strconv.ParseFloat(f.Value, 64)
+	if errA != nil || errB != nil {
+		return false
+	}
+	switch f.Op {
+	case FLt:
+		return a < b
+	case FLe:
+		return a <= b
+	case FGt:
+		return a > b
+	case FGe:
+		return a >= b
+	}
+	return false
+}
+
+// Query is a conjunction of filters.
+type Query struct {
+	Filters []Filter
+	// Limit caps results (0 = all).
+	Limit int
+}
+
+// QueryReply carries matching records and their worst-case staleness.
+type QueryReply struct {
+	Records []Record
+	// MaxStale is the age of the oldest snapshot served.
+	MaxStale time.Duration
+}
+
+// GRIS is the per-host information service: it owns providers for local
+// resources and pushes soft-state registrations to an index.
+type GRIS struct {
+	eng  *sim.Engine
+	net  *simnet.Network
+	host string
+
+	providers map[string]Provider
+	order     []string
+	ticker    *sim.Ticker
+
+	// PushN counts registration messages sent.
+	PushN int
+}
+
+// NewGRIS creates the information service for host.
+func NewGRIS(eng *sim.Engine, net *simnet.Network, host string) *GRIS {
+	return &GRIS{eng: eng, net: net, host: host, providers: make(map[string]Provider)}
+}
+
+// AddProvider registers a named local resource provider.
+func (g *GRIS) AddProvider(name string, p Provider) {
+	if _, dup := g.providers[name]; !dup {
+		g.order = append(g.order, name)
+	}
+	g.providers[name] = p
+}
+
+// Snapshot returns current records for all providers (local query path).
+func (g *GRIS) Snapshot() []Record {
+	out := make([]Record, 0, len(g.order))
+	for _, name := range g.order {
+		out = append(out, Record{Name: name, Attrs: g.providers[name](), Stamp: g.eng.Now()})
+	}
+	return out
+}
+
+// StartPush begins soft-state registration to the index host every
+// interval, with TTL = 2×interval (surviving one lost push).
+func (g *GRIS) StartPush(indexHost string, interval time.Duration) {
+	if g.ticker != nil {
+		g.ticker.Stop()
+	}
+	push := func() {
+		for _, rec := range g.Snapshot() {
+			g.net.Send(g.host, indexHost, SvcRegister, Registration{Rec: rec, TTL: 2 * interval})
+			g.PushN++
+		}
+	}
+	push() // initial registration
+	g.ticker = g.eng.NewTicker(interval, push)
+}
+
+// Stop halts pushing.
+func (g *GRIS) Stop() {
+	if g.ticker != nil {
+		g.ticker.Stop()
+		g.ticker = nil
+	}
+}
+
+// GIIS is the aggregate index: it caches registrations until their TTL
+// expires and answers attribute queries from the cache. A GIIS can itself
+// push upward to a parent index, forming the MDS hierarchy.
+type GIIS struct {
+	eng  *sim.Engine
+	net  *simnet.Network
+	host string
+
+	records map[string]*cached
+	ticker  *sim.Ticker
+
+	// QueryN counts queries served; RegisterN registrations absorbed.
+	QueryN, RegisterN int
+}
+
+type cached struct {
+	rec     Record
+	expires time.Duration
+}
+
+// NewGIIS installs an index service on host.
+func NewGIIS(eng *sim.Engine, net *simnet.Network, host string) *GIIS {
+	g := &GIIS{eng: eng, net: net, host: host, records: make(map[string]*cached)}
+	h := net.Host(host)
+	h.Handle(SvcRegister, g.handleRegister)
+	h.Handle(SvcQuery, g.handleQuery)
+	return g
+}
+
+func (g *GIIS) handleRegister(from string, raw any) (any, error) {
+	reg, ok := raw.(Registration)
+	if !ok {
+		return nil, fmt.Errorf("mds: bad registration payload %T", raw)
+	}
+	g.RegisterN++
+	g.records[reg.Rec.Name] = &cached{rec: reg.Rec, expires: g.eng.Now() + reg.TTL}
+	return nil, nil
+}
+
+func (g *GIIS) handleQuery(from string, raw any) (any, error) {
+	q, ok := raw.(Query)
+	if !ok {
+		return nil, fmt.Errorf("mds: bad query payload %T", raw)
+	}
+	g.QueryN++
+	return g.Eval(q), nil
+}
+
+// Eval answers a query from the local cache (exported for in-process use
+// by brokers co-located with the index).
+func (g *GIIS) Eval(q Query) QueryReply {
+	now := g.eng.Now()
+	var names []string
+	for name, c := range g.records {
+		if c.expires <= now {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic result order
+	var reply QueryReply
+	for _, name := range names {
+		c := g.records[name]
+		match := true
+		for _, f := range q.Filters {
+			if !f.Match(c.rec.Attrs) {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		reply.Records = append(reply.Records, c.rec)
+		if age := now - c.rec.Stamp; age > reply.MaxStale {
+			reply.MaxStale = age
+		}
+		if q.Limit > 0 && len(reply.Records) >= q.Limit {
+			break
+		}
+	}
+	return reply
+}
+
+// Live returns the number of unexpired records.
+func (g *GIIS) Live() int {
+	now := g.eng.Now()
+	n := 0
+	for _, c := range g.records {
+		if c.expires > now {
+			n++
+		}
+	}
+	return n
+}
+
+// Sweep drops expired records (housekeeping; Eval already ignores them).
+func (g *GIIS) Sweep() int {
+	now := g.eng.Now()
+	var dead []string
+	for name, c := range g.records {
+		if c.expires <= now {
+			dead = append(dead, name)
+		}
+	}
+	for _, name := range dead {
+		delete(g.records, name)
+	}
+	return len(dead)
+}
+
+// StartUplink pushes this index's live records to a parent index every
+// interval, forming the GIIS hierarchy.
+func (g *GIIS) StartUplink(parentHost string, interval time.Duration) {
+	if g.ticker != nil {
+		g.ticker.Stop()
+	}
+	push := func() {
+		now := g.eng.Now()
+		names := make([]string, 0, len(g.records))
+		for name, c := range g.records {
+			if c.expires > now {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			c := g.records[name]
+			g.net.Send(g.host, parentHost, SvcRegister, Registration{Rec: c.rec, TTL: 2 * interval})
+		}
+	}
+	push()
+	g.ticker = g.eng.NewTicker(interval, push)
+}
+
+// StopUplink halts the uplink push.
+func (g *GIIS) StopUplink() {
+	if g.ticker != nil {
+		g.ticker.Stop()
+		g.ticker = nil
+	}
+}
+
+// QueryIndex is the client helper: query a GIIS over the network.
+func QueryIndex(net *simnet.Network, from, indexHost string, q Query, timeout time.Duration, done func(QueryReply, error)) {
+	net.Call(from, indexHost, SvcQuery, q, timeout, func(resp any, err error) {
+		if err != nil {
+			done(QueryReply{}, err)
+			return
+		}
+		done(resp.(QueryReply), nil)
+	})
+}

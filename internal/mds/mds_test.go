@@ -1,0 +1,203 @@
+package mds
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+type fixture struct {
+	eng *sim.Engine
+	net *simnet.Network
+}
+
+func newFixture() *fixture {
+	eng := sim.NewEngine(1)
+	net := simnet.New(eng)
+	net.AddSite("A", 0, 0)
+	net.AddSite("B", 30, 0)
+	net.AddHost("idx", "A", 1e6)
+	net.AddHost("n1", "B", 1e6)
+	net.AddHost("n2", "B", 1e6)
+	net.AddHost("client", "A", 1e6)
+	return &fixture{eng: eng, net: net}
+}
+
+func staticProvider(attrs map[string]string) Provider {
+	return func() map[string]string { return attrs }
+}
+
+func TestFilterMatch(t *testing.T) {
+	attrs := map[string]string{"os": "linux", "cpus": "4", "mem": "2048"}
+	cases := []struct {
+		f    Filter
+		want bool
+	}{
+		{Filter{"os", FEq, "linux"}, true},
+		{Filter{"os", FEq, "solaris"}, false},
+		{Filter{"os", FNe, "solaris"}, true},
+		{Filter{"cpus", FGe, "4"}, true},
+		{Filter{"cpus", FGt, "4"}, false},
+		{Filter{"mem", FLt, "4096"}, true},
+		{Filter{"mem", FLe, "2048"}, true},
+		{Filter{"nope", FEq, "x"}, false},
+		{Filter{"os", FGt, "3"}, false}, // non-numeric side
+	}
+	for _, tc := range cases {
+		if got := tc.f.Match(attrs); got != tc.want {
+			t.Errorf("%+v = %v, want %v", tc.f, got, tc.want)
+		}
+	}
+}
+
+func TestRegistrationAndQuery(t *testing.T) {
+	f := newFixture()
+	idx := NewGIIS(f.eng, f.net, "idx")
+	g1 := NewGRIS(f.eng, f.net, "n1")
+	g1.AddProvider("n1/compute", staticProvider(map[string]string{"os": "linux", "cpus": "4"}))
+	g2 := NewGRIS(f.eng, f.net, "n2")
+	g2.AddProvider("n2/compute", staticProvider(map[string]string{"os": "aix", "cpus": "16"}))
+	g1.StartPush("idx", time.Minute)
+	g2.StartPush("idx", time.Minute)
+	f.eng.RunUntil(time.Second)
+	if idx.Live() != 2 {
+		t.Fatalf("Live = %d, want 2", idx.Live())
+	}
+	var reply QueryReply
+	QueryIndex(f.net, "client", "idx", Query{Filters: []Filter{{"os", FEq, "linux"}}}, time.Minute,
+		func(r QueryReply, err error) { reply = r })
+	f.eng.RunUntil(2 * time.Second)
+	if len(reply.Records) != 1 || reply.Records[0].Name != "n1/compute" {
+		t.Fatalf("reply = %+v", reply)
+	}
+	g1.Stop()
+	g2.Stop()
+}
+
+func TestTTLExpiry(t *testing.T) {
+	f := newFixture()
+	idx := NewGIIS(f.eng, f.net, "idx")
+	g := NewGRIS(f.eng, f.net, "n1")
+	g.AddProvider("n1/compute", staticProvider(map[string]string{"os": "linux"}))
+	g.StartPush("idx", time.Minute)
+	f.eng.RunUntil(time.Second)
+	if idx.Live() != 1 {
+		t.Fatal("not registered")
+	}
+	// Node dies: pushes stop, record must expire after TTL (2×interval).
+	g.Stop()
+	f.net.SetDown("n1", true)
+	f.eng.RunUntil(4 * time.Minute)
+	if idx.Live() != 0 {
+		t.Errorf("dead node still live after TTL")
+	}
+	if idx.Sweep() != 1 {
+		t.Error("sweep did not collect the expired record")
+	}
+}
+
+func TestStalenessReported(t *testing.T) {
+	f := newFixture()
+	idx := NewGIIS(f.eng, f.net, "idx")
+	g := NewGRIS(f.eng, f.net, "n1")
+	g.AddProvider("r", staticProvider(map[string]string{"os": "linux"}))
+	g.StartPush("idx", 10*time.Minute)
+	f.eng.RunUntil(5 * time.Minute)
+	reply := idx.Eval(Query{})
+	// Snapshot taken at ~0 (plus push latency), queried at 5min.
+	if reply.MaxStale < 4*time.Minute || reply.MaxStale > 6*time.Minute {
+		t.Errorf("MaxStale = %v, want ~5m", reply.MaxStale)
+	}
+	g.Stop()
+}
+
+func TestDynamicProviderRefreshes(t *testing.T) {
+	f := newFixture()
+	idx := NewGIIS(f.eng, f.net, "idx")
+	load := 0
+	g := NewGRIS(f.eng, f.net, "n1")
+	g.AddProvider("r", func() map[string]string {
+		return map[string]string{"load": fmt.Sprint(load)}
+	})
+	g.StartPush("idx", time.Minute)
+	f.eng.RunUntil(time.Second)
+	load = 7
+	f.eng.RunUntil(90 * time.Second) // second push at 60s carries load=7
+	reply := idx.Eval(Query{Filters: []Filter{{"load", FEq, "7"}}})
+	if len(reply.Records) != 1 {
+		t.Errorf("refreshed attr not visible: %+v", reply)
+	}
+	g.Stop()
+}
+
+func TestQueryLimit(t *testing.T) {
+	f := newFixture()
+	idx := NewGIIS(f.eng, f.net, "idx")
+	g := NewGRIS(f.eng, f.net, "n1")
+	for i := 0; i < 10; i++ {
+		g.AddProvider(fmt.Sprintf("r%02d", i), staticProvider(map[string]string{"os": "linux"}))
+	}
+	g.StartPush("idx", time.Minute)
+	f.eng.RunUntil(time.Second)
+	reply := idx.Eval(Query{Limit: 3})
+	if len(reply.Records) != 3 {
+		t.Errorf("Limit ignored: %d records", len(reply.Records))
+	}
+	g.Stop()
+}
+
+func TestDeterministicResultOrder(t *testing.T) {
+	f := newFixture()
+	idx := NewGIIS(f.eng, f.net, "idx")
+	g := NewGRIS(f.eng, f.net, "n1")
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		g.AddProvider(name, staticProvider(map[string]string{"x": "1"}))
+	}
+	g.StartPush("idx", time.Minute)
+	f.eng.RunUntil(time.Second)
+	reply := idx.Eval(Query{})
+	want := []string{"alpha", "mid", "zeta"}
+	for i, rec := range reply.Records {
+		if rec.Name != want[i] {
+			t.Fatalf("order = %v", reply.Records)
+		}
+	}
+	g.Stop()
+}
+
+func TestHierarchyUplink(t *testing.T) {
+	f := newFixture()
+	f.net.AddHost("rootidx", "A", 1e6)
+	root := NewGIIS(f.eng, f.net, "rootidx")
+	site := NewGIIS(f.eng, f.net, "idx")
+	g := NewGRIS(f.eng, f.net, "n1")
+	g.AddProvider("n1/r", staticProvider(map[string]string{"os": "linux"}))
+	g.StartPush("idx", time.Minute)
+	site.StartUplink("rootidx", time.Minute)
+	f.eng.RunUntil(90 * time.Second)
+	if root.Live() != 1 {
+		t.Errorf("root Live = %d, want 1 (uplinked)", root.Live())
+	}
+	g.Stop()
+	site.StopUplink()
+}
+
+func TestPushCountScalesWithResources(t *testing.T) {
+	// E3's core observation: registration traffic is linear in resources.
+	f := newFixture()
+	NewGIIS(f.eng, f.net, "idx")
+	g := NewGRIS(f.eng, f.net, "n1")
+	for i := 0; i < 5; i++ {
+		g.AddProvider(fmt.Sprintf("r%d", i), staticProvider(map[string]string{"x": "1"}))
+	}
+	g.StartPush("idx", time.Minute)
+	f.eng.RunUntil(5*time.Minute + time.Second)
+	// Initial push + 5 ticks = 6 rounds × 5 resources.
+	if g.PushN != 30 {
+		t.Errorf("PushN = %d, want 30", g.PushN)
+	}
+	g.Stop()
+}

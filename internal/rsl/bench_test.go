@@ -1,0 +1,29 @@
+package rsl
+
+import "testing"
+
+func BenchmarkParseSimple(b *testing.B) {
+	src := `&(executable=/bin/sim)(count=4)(maxWallTime=3600)(queue=batch)`
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseComplex(b *testing.B) {
+	src := `+(&(executable=a)(count=2)(environment=(HOME /h)(PATH /bin))(arguments=-v "x y" 42))(&(executable=b)(memory>=512)(maxWallTime=600))`
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCanonicalRender(b *testing.B) {
+	s, _ := Parse(`&(executable=/bin/sim)(count=4)(arguments=-v --out "file 1")`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.String()
+	}
+}

@@ -1,0 +1,190 @@
+// Package servicemgr implements the application-level service manager
+// the paper's PlanetLab sections presuppose: a controller that keeps a
+// long-lived network service at its target number of points of presence,
+// buying resources through a SHARP broker and redeploying around site
+// failures. "It is envisaged that high-value services ... will be built
+// by the user community" (§2.2) — this is the management half of such a
+// service, and the live counterpart of experiment E10's availability
+// math.
+package servicemgr
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/identity"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// Controller errors.
+var (
+	ErrAlreadyStarted = errors.New("servicemgr: already started")
+	ErrNoSpareSites   = errors.New("servicemgr: no spare site with stock")
+)
+
+// Config shapes a managed service.
+type Config struct {
+	Name string
+	// Target is the desired number of simultaneous points of presence.
+	Target int
+	// CPUPerSite is the per-PoP resource ask.
+	CPUPerSite float64
+	// Candidates is the ordered site preference list (must have at least
+	// Target entries to reach full strength).
+	Candidates []string
+	// Lease bounds each deployment's resource claim.
+	Lease time.Duration
+}
+
+// Manager keeps a service at strength across failures.
+type Manager struct {
+	cfg Config
+	eng *sim.Engine
+	dep *broker.Deployer
+	sm  *identity.Principal
+
+	active map[string]*vm.Slice // site -> its single-VM slice
+	downAt map[string]time.Duration
+
+	// RedeployN counts failure-driven redeployments; DegradedTime
+	// accumulates time spent below Target strength.
+	RedeployN     int
+	DegradedTime  time.Duration
+	degraded      bool
+	degradedSince time.Duration
+	started       bool
+}
+
+// New builds a manager over an (already stocked) deployer.
+func New(eng *sim.Engine, dep *broker.Deployer, sm *identity.Principal, cfg Config) *Manager {
+	return &Manager{
+		cfg:    cfg,
+		eng:    eng,
+		dep:    dep,
+		sm:     sm,
+		active: make(map[string]*vm.Slice),
+		downAt: make(map[string]time.Duration),
+	}
+}
+
+// Start deploys to the first Target candidate sites. Partial success is
+// tolerated (the manager runs degraded and counts the time).
+func (m *Manager) Start() error {
+	if m.started {
+		return ErrAlreadyStarted
+	}
+	m.started = true
+	for _, site := range m.cfg.Candidates {
+		if len(m.active) >= m.cfg.Target {
+			break
+		}
+		m.tryDeploy(site)
+	}
+	m.accountStrength()
+	if len(m.active) == 0 {
+		return fmt.Errorf("servicemgr: %s could not reach any site", m.cfg.Name)
+	}
+	return nil
+}
+
+func (m *Manager) tryDeploy(site string) bool {
+	now := m.eng.Now()
+	slice, err := m.dep.DeploySlice(
+		fmt.Sprintf("%s@%s", m.cfg.Name, site), m.sm,
+		m.cfg.CPUPerSite, now, now+m.cfg.Lease, []string{site})
+	if err != nil {
+		return false
+	}
+	m.active[site] = slice
+	return true
+}
+
+// Running returns the current number of live points of presence.
+func (m *Manager) Running() int {
+	n := 0
+	for _, s := range m.active {
+		n += s.Running()
+	}
+	return n
+}
+
+// ActiveSites returns the sites currently hosting the service, sorted.
+func (m *Manager) ActiveSites() []string {
+	out := make([]string, 0, len(m.active))
+	for s := range m.active {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// accountStrength tracks degraded time: below-target intervals are
+// integrated into DegradedTime.
+func (m *Manager) accountStrength() {
+	now := m.eng.Now()
+	below := m.Running() < m.cfg.Target
+	switch {
+	case below && !m.degraded:
+		m.degraded = true
+		m.degradedSince = now
+	case !below && m.degraded:
+		m.degraded = false
+		m.DegradedTime += now - m.degradedSince
+	}
+}
+
+// closeAccounting flushes an open degraded interval (shutdown path).
+func (m *Manager) closeAccounting() {
+	if m.degraded {
+		m.DegradedTime += m.eng.Now() - m.degradedSince
+		m.degraded = false
+	}
+}
+
+// SiteFailed informs the manager that a site died: its VM is torn down
+// and a spare candidate (not active, not recently failed, with broker
+// stock) takes its place. Returns the replacement site, or an error when
+// the service must run degraded.
+func (m *Manager) SiteFailed(site string) (string, error) {
+	m.downAt[site] = m.eng.Now()
+	if slice, ok := m.active[site]; ok {
+		slice.StopAll()
+		delete(m.active, site)
+	}
+	m.accountStrength()
+	for _, cand := range m.cfg.Candidates {
+		if _, isActive := m.active[cand]; isActive {
+			continue
+		}
+		if cand == site {
+			continue
+		}
+		if m.dep.Inventory(cand) < m.cfg.CPUPerSite {
+			continue
+		}
+		if m.tryDeploy(cand) {
+			m.RedeployN++
+			m.accountStrength()
+			return cand, nil
+		}
+	}
+	return "", ErrNoSpareSites
+}
+
+// SiteRecovered clears a site's failure mark so it can be reused.
+func (m *Manager) SiteRecovered(site string) {
+	delete(m.downAt, site)
+}
+
+// Stop tears the whole service down, closing the degraded-time books.
+func (m *Manager) Stop() {
+	for site, slice := range m.active {
+		slice.StopAll()
+		delete(m.active, site)
+	}
+	m.closeAccounting()
+}

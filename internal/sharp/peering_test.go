@@ -1,0 +1,128 @@
+package sharp
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/capability"
+	"repro/internal/identity"
+	"repro/internal/sim"
+)
+
+func newPeer(t *testing.T, eng *sim.Engine, rng *rand.Rand, site string, cpu float64, pol PeerPolicy) *Peer {
+	t.Helper()
+	nm := capability.NewNodeManager(site, eng, rng, map[capability.ResourceType]float64{capability.CPU: cpu})
+	auth := NewAuthority(eng, site, identity.NewPrincipal("auth@"+site, rng), nm,
+		map[capability.ResourceType]float64{capability.CPU: cpu})
+	return NewPeer(auth, identity.NewPrincipal("peer@"+site, rng), pol)
+}
+
+func TestBarterExchangesBothLegs(t *testing.T) {
+	eng := sim.NewEngine(1)
+	rng := rand.New(rand.NewSource(1))
+	a := newPeer(t, eng, rng, "A", 8, PeerPolicy{MaxExport: 8})
+	b := newPeer(t, eng, rng, "B", 8, PeerPolicy{MaxExport: 8})
+	if err := Barter(a, b, 3, 0, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Imports().Inventory("B", capability.CPU); got != 3 {
+		t.Errorf("A holds %v of B, want 3", got)
+	}
+	if got := b.Imports().Inventory("A", capability.CPU); got != 3 {
+		t.Errorf("B holds %v of A, want 3", got)
+	}
+	if a.Exported() != 3 || b.Exported() != 3 {
+		t.Errorf("exports %v/%v", a.Exported(), b.Exported())
+	}
+	// Imported tickets redeem at the issuing site.
+	tks, err := a.Imports().Sell("sm", identity.NewPrincipal("sm", rng).Public(), "B", capability.CPU, 2, 0, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Authority.Redeem(tks[0]); err != nil {
+		t.Errorf("redeem imported ticket: %v", err)
+	}
+}
+
+func TestBarterPolicyEnforcement(t *testing.T) {
+	eng := sim.NewEngine(1)
+	rng := rand.New(rand.NewSource(2))
+	a := newPeer(t, eng, rng, "A", 8, PeerPolicy{MaxExport: 8, AllowList: []string{"C"}})
+	b := newPeer(t, eng, rng, "B", 8, PeerPolicy{MaxExport: 8})
+	if err := Barter(a, b, 1, 0, time.Hour); !errors.Is(err, ErrPeerPolicy) {
+		t.Errorf("allowlist: %v", err)
+	}
+	c := newPeer(t, eng, rng, "C", 8, PeerPolicy{MaxExport: 2})
+	if err := Barter(a, c, 1, 0, time.Hour); err != nil {
+		t.Fatalf("allowed pair: %v", err)
+	}
+	// C's export cap (2) is nearly used; another 2 exceeds it.
+	if err := Barter(a, c, 2, 0, time.Hour); !errors.Is(err, ErrPeerPolicy) {
+		t.Errorf("export cap: %v", err)
+	}
+	if err := Barter(a, a, 1, 0, time.Hour); !errors.Is(err, ErrSelfPeering) {
+		t.Errorf("self: %v", err)
+	}
+}
+
+func TestBarterFailsWhenIssueRefused(t *testing.T) {
+	eng := sim.NewEngine(1)
+	rng := rand.New(rand.NewSource(3))
+	a := newPeer(t, eng, rng, "A", 8, PeerPolicy{MaxExport: 100})
+	b := newPeer(t, eng, rng, "B", 1, PeerPolicy{MaxExport: 100}) // tiny site
+	// B cannot issue 4 CPU (capacity 1, oversell 1).
+	if err := Barter(a, b, 4, 0, time.Hour); !errors.Is(err, ErrBarterFailed) {
+		t.Errorf("issue refusal: %v", err)
+	}
+	// A's abandoned leg cost nothing redeemable by B (it was never
+	// handed over), and A's export count is unchanged.
+	if a.Exported() != 0 {
+		t.Errorf("exported = %v after failed barter", a.Exported())
+	}
+}
+
+func TestMeshBarterFullMesh(t *testing.T) {
+	eng := sim.NewEngine(1)
+	rng := rand.New(rand.NewSource(4))
+	peers := []*Peer{
+		newPeer(t, eng, rng, "A", 8, PeerPolicy{MaxExport: 8}),
+		newPeer(t, eng, rng, "B", 8, PeerPolicy{MaxExport: 8}),
+		newPeer(t, eng, rng, "C", 8, PeerPolicy{MaxExport: 8}),
+		newPeer(t, eng, rng, "D", 8, PeerPolicy{MaxExport: 8}),
+	}
+	fed := NewPeerFederation(peers...)
+	trades := fed.MeshBarter(2, 0, time.Hour)
+	if trades != 6 { // C(4,2) pairs
+		t.Fatalf("trades = %d, want 6", trades)
+	}
+	for _, p := range peers {
+		if got := p.ForeignInventory(fed); got != 6 {
+			t.Errorf("%s foreign inventory = %v, want 6 (2 from each of 3 peers)", p.Site, got)
+		}
+		if p.Exported() != 6 {
+			t.Errorf("%s exported = %v, want 6", p.Site, p.Exported())
+		}
+	}
+	if fed.Peer("A") == nil || fed.Peer("Z") != nil {
+		t.Error("Peer lookup wrong")
+	}
+}
+
+func TestMeshBarterRespectsPolicies(t *testing.T) {
+	eng := sim.NewEngine(1)
+	rng := rand.New(rand.NewSource(5))
+	// B only trades with A; C trades with anyone.
+	a := newPeer(t, eng, rng, "A", 8, PeerPolicy{MaxExport: 8})
+	b := newPeer(t, eng, rng, "B", 8, PeerPolicy{MaxExport: 8, AllowList: []string{"A"}})
+	c := newPeer(t, eng, rng, "C", 8, PeerPolicy{MaxExport: 8})
+	fed := NewPeerFederation(a, b, c)
+	trades := fed.MeshBarter(1, 0, time.Hour)
+	if trades != 2 { // A-B and A-C; B-C blocked
+		t.Errorf("trades = %d, want 2", trades)
+	}
+	if got := b.Imports().Inventory("C", capability.CPU); got != 0 {
+		t.Errorf("B holds %v of C despite policy", got)
+	}
+}

@@ -1,0 +1,166 @@
+package sharp
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/capability"
+	"repro/internal/identity"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+type netFixture struct {
+	eng   *sim.Engine
+	net   *simnet.Network
+	auth  *Authority
+	agent *Agent
+	sm    *identity.Principal
+}
+
+func newNetFixture(t *testing.T) *netFixture {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	net := simnet.New(eng)
+	net.AddSite("A", 0, 0)
+	net.AddSite("B", 30, 0)
+	net.AddSite("C", 10, 25)
+	net.AddHost("authA", "A", 1e6)
+	net.AddHost("agent", "B", 1e6)
+	net.AddHost("smhost", "C", 1e6)
+
+	rng := rand.New(rand.NewSource(4))
+	nm := capability.NewNodeManager("A", eng, rng, map[capability.ResourceType]float64{capability.CPU: 8})
+	auth := NewAuthority(eng, "A", identity.NewPrincipal("auth@A", rng), nm,
+		map[capability.ResourceType]float64{capability.CPU: 8})
+	agent := NewAgent(identity.NewPrincipal("agent-1", rng))
+	NewAuthorityService(net, "authA", auth)
+	NewAgentService(net, "agent", agent)
+	return &netFixture{eng: eng, net: net, auth: auth, agent: agent, sm: identity.NewPrincipal("sm", rng)}
+}
+
+func TestFullFlowOverNetwork(t *testing.T) {
+	f := newNetFixture(t)
+	// Agent acquires a ticket over the wire (Figure 2 steps 1-2).
+	var acquired *Ticket
+	IssueOverNet(f.net, "agent", "authA", IssueRequest{
+		HolderName: f.agent.Name, HolderKey: f.agent.Key(),
+		Type: capability.CPU, Amount: 4, NotAfter: time.Hour,
+	}, time.Minute, func(tk *Ticket, err error) {
+		if err != nil {
+			t.Errorf("issue: %v", err)
+			return
+		}
+		acquired = tk
+	})
+	f.eng.Run()
+	if acquired == nil {
+		t.Fatal("no ticket")
+	}
+	if err := f.agent.Acquire(acquired); err != nil {
+		t.Fatal(err)
+	}
+
+	// SM buys over the wire (steps 3-4), then redeems (5-6).
+	var bought []*Ticket
+	BuyOverNet(f.net, "smhost", "agent", BuyRequest{
+		BuyerName: f.sm.Name, BuyerKey: f.sm.Public(),
+		Site: "A", Type: capability.CPU, Amount: 2, NotAfter: time.Hour,
+	}, time.Minute, func(tks []*Ticket, err error) {
+		if err != nil {
+			t.Errorf("buy: %v", err)
+			return
+		}
+		bought = tks
+	})
+	f.eng.Run()
+	if len(bought) != 1 {
+		t.Fatalf("bought %d tickets", len(bought))
+	}
+	var lease *Lease
+	RedeemOverNet(f.net, "smhost", "authA", bought[0], time.Minute, func(l *Lease, err error) {
+		if err != nil {
+			t.Errorf("redeem: %v", err)
+			return
+		}
+		lease = l
+	})
+	f.eng.Run()
+	if lease == nil || lease.Amount != 2 {
+		t.Fatalf("lease = %+v", lease)
+	}
+}
+
+func TestNetworkRedeemConflictSurfaces(t *testing.T) {
+	f := newNetFixture(t)
+	f.auth.OversellFactor = 2
+	// Issue 2×8 CPU directly, redeem both over the wire: second conflicts.
+	t1, _ := f.auth.IssueTicket(f.agent.Name, f.agent.Key(), capability.CPU, 8, 0, time.Hour)
+	t2, _ := f.auth.IssueTicket(f.agent.Name, f.agent.Key(), capability.CPU, 8, 0, time.Hour)
+	var errs []error
+	for _, tk := range []*Ticket{t1, t2} {
+		RedeemOverNet(f.net, "smhost", "authA", tk, time.Minute, func(_ *Lease, err error) {
+			errs = append(errs, err)
+		})
+		f.eng.Run()
+	}
+	if errs[0] != nil {
+		t.Errorf("first redeem: %v", errs[0])
+	}
+	if !errors.Is(errs[1], ErrConflict) {
+		t.Errorf("second redeem: %v", errs[1])
+	}
+}
+
+func TestNetworkPartitionBlocksRedeem(t *testing.T) {
+	f := newNetFixture(t)
+	tk, _ := f.auth.IssueTicket(f.agent.Name, f.agent.Key(), capability.CPU, 1, 0, time.Hour)
+	f.net.Partition("C", "A", true)
+	var got error
+	RedeemOverNet(f.net, "smhost", "authA", tk, time.Minute, func(_ *Lease, err error) { got = err })
+	f.eng.Run()
+	if !errors.Is(got, simnet.ErrPartitioned) {
+		t.Errorf("partitioned redeem: %v", got)
+	}
+	// Heal; the ticket is still good (soft claim survived the outage).
+	f.net.Partition("C", "A", false)
+	var lease *Lease
+	RedeemOverNet(f.net, "smhost", "authA", tk, time.Minute, func(l *Lease, err error) { lease = l })
+	f.eng.Run()
+	if lease == nil {
+		t.Error("redeem after heal failed")
+	}
+}
+
+func TestNetworkIssueRespectsOversellBound(t *testing.T) {
+	f := newNetFixture(t)
+	var errs []error
+	for i := 0; i < 3; i++ {
+		IssueOverNet(f.net, "agent", "authA", IssueRequest{
+			HolderName: f.agent.Name, HolderKey: f.agent.Key(),
+			Type: capability.CPU, Amount: 4, NotAfter: time.Hour,
+		}, time.Minute, func(_ *Ticket, err error) { errs = append(errs, err) })
+		f.eng.Run()
+	}
+	if errs[0] != nil || errs[1] != nil {
+		t.Errorf("first two issues: %v %v", errs[0], errs[1])
+	}
+	if !errors.Is(errs[2], ErrOverIssue) {
+		t.Errorf("third issue: %v", errs[2])
+	}
+}
+
+func TestNetworkBuyInsufficientStock(t *testing.T) {
+	f := newNetFixture(t)
+	var got error
+	BuyOverNet(f.net, "smhost", "agent", BuyRequest{
+		BuyerName: f.sm.Name, BuyerKey: f.sm.Public(),
+		Site: "A", Type: capability.CPU, Amount: 1, NotAfter: time.Hour,
+	}, time.Minute, func(_ []*Ticket, err error) { got = err })
+	f.eng.Run()
+	if !errors.Is(got, ErrInventory) {
+		t.Errorf("empty-stock buy: %v", got)
+	}
+}

@@ -1,0 +1,422 @@
+// Package sharp implements SHARP [Fu, Chase, Chun, Schwab, Vahdat, SOSP
+// 2003], the secure resource-peering architecture the paper presents as
+// PlanetLab's emerging VO-level resource manager (Figure 2): sites issue
+// cryptographically signed *tickets* (soft claims) to brokers ("agents"),
+// agents subdivide and resell tickets to service managers, and a ticket
+// becomes a hard *lease* only when redeemed at its issuing site authority.
+// Because tickets are soft, an authority may deliberately oversubscribe;
+// conflicts then surface as redeem-time rejections — the tradeoff the E9
+// experiment sweeps.
+//
+// Every delegation step is a signed claim chained to its parent by hash,
+// so a forged, widened, or replayed ticket fails verification — "SHARP
+// ... develops its own trust delegation and authentication mechanisms in
+// the PlanetLab context."
+package sharp
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/capability"
+	"repro/internal/identity"
+	"repro/internal/sim"
+)
+
+// Protocol errors.
+var (
+	ErrBadChain      = errors.New("sharp: claim chain invalid")
+	ErrBadSignature  = errors.New("sharp: claim signature invalid")
+	ErrAmountWidened = errors.New("sharp: claim exceeds parent amount")
+	ErrIntervalGrew  = errors.New("sharp: claim interval outside parent")
+	ErrExpired       = errors.New("sharp: ticket not current")
+	ErrConflict      = errors.New("sharp: redeem conflict (oversubscribed)")
+	ErrDoubleSpend   = errors.New("sharp: ticket already redeemed")
+	ErrOverIssue     = errors.New("sharp: issue would exceed oversell bound")
+	ErrNotHolder     = errors.New("sharp: delegator is not the ticket holder")
+	ErrInventory     = errors.New("sharp: agent inventory insufficient")
+	ErrWrongSite     = errors.New("sharp: ticket names a different site")
+)
+
+// Claim is one signed delegation step.
+type Claim struct {
+	Site       string
+	Type       capability.ResourceType
+	Amount     float64
+	NotBefore  time.Duration
+	NotAfter   time.Duration
+	Issuer     string
+	IssuerKey  ed25519.PublicKey
+	Holder     string
+	HolderKey  ed25519.PublicKey
+	Serial     uint64
+	ParentHash [32]byte // zero for root claims
+	Sig        []byte
+}
+
+func (c *Claim) tbs() []byte {
+	var buf bytes.Buffer
+	w := func(s string) {
+		var n [4]byte
+		binary.BigEndian.PutUint32(n[:], uint32(len(s)))
+		buf.Write(n[:])
+		buf.WriteString(s)
+	}
+	w(c.Site)
+	var t [8]byte
+	binary.BigEndian.PutUint64(t[:], uint64(c.Type))
+	buf.Write(t[:])
+	binary.BigEndian.PutUint64(t[:], uint64(int64(c.Amount*1e6)))
+	buf.Write(t[:])
+	binary.BigEndian.PutUint64(t[:], uint64(c.NotBefore))
+	buf.Write(t[:])
+	binary.BigEndian.PutUint64(t[:], uint64(c.NotAfter))
+	buf.Write(t[:])
+	w(c.Issuer)
+	buf.Write(c.IssuerKey)
+	w(c.Holder)
+	buf.Write(c.HolderKey)
+	binary.BigEndian.PutUint64(t[:], c.Serial)
+	buf.Write(t[:])
+	buf.Write(c.ParentHash[:])
+	return buf.Bytes()
+}
+
+// Hash returns the claim's chaining digest (covers the signature so a
+// re-signed claim is a different node).
+func (c *Claim) Hash() [32]byte {
+	return sha256.Sum256(append(c.tbs(), c.Sig...))
+}
+
+// Ticket is a chain of claims from a site authority (chain[0]) to the
+// current holder (last element).
+type Ticket struct {
+	Chain []Claim
+}
+
+// Leaf returns the chain's final claim.
+func (t *Ticket) Leaf() *Claim {
+	if len(t.Chain) == 0 {
+		return nil
+	}
+	return &t.Chain[len(t.Chain)-1]
+}
+
+// Root returns the authority-issued claim.
+func (t *Ticket) Root() *Claim {
+	if len(t.Chain) == 0 {
+		return nil
+	}
+	return &t.Chain[0]
+}
+
+// Amount returns the leaf amount — what the ticket is worth.
+func (t *Ticket) Amount() float64 { return t.Leaf().Amount }
+
+// Verify checks the whole chain against the pinned authority key: every
+// signature, hash link, amount narrowing, and interval nesting.
+func (t *Ticket) Verify(authorityKey ed25519.PublicKey, now time.Duration) error {
+	if len(t.Chain) == 0 {
+		return fmt.Errorf("%w: empty", ErrBadChain)
+	}
+	root := t.Root()
+	if !authorityKey.Equal(root.IssuerKey) {
+		return fmt.Errorf("%w: root not issued by authority", ErrBadChain)
+	}
+	for i := range t.Chain {
+		c := &t.Chain[i]
+		if !ed25519.Verify(c.IssuerKey, c.tbs(), c.Sig) {
+			return fmt.Errorf("%w: link %d", ErrBadSignature, i)
+		}
+		if i == 0 {
+			if c.ParentHash != ([32]byte{}) {
+				return fmt.Errorf("%w: root has a parent", ErrBadChain)
+			}
+			continue
+		}
+		parent := &t.Chain[i-1]
+		if !parent.HolderKey.Equal(ed25519.PublicKey(c.IssuerKey)) {
+			return fmt.Errorf("%w: link %d issuer is not parent holder", ErrBadChain, i)
+		}
+		if c.ParentHash != parent.Hash() {
+			return fmt.Errorf("%w: link %d parent hash mismatch", ErrBadChain, i)
+		}
+		if c.Amount > parent.Amount {
+			return fmt.Errorf("%w: link %d %v > %v", ErrAmountWidened, i, c.Amount, parent.Amount)
+		}
+		if c.NotBefore < parent.NotBefore || c.NotAfter > parent.NotAfter {
+			return fmt.Errorf("%w: link %d", ErrIntervalGrew, i)
+		}
+		if c.Site != parent.Site || c.Type != parent.Type {
+			return fmt.Errorf("%w: link %d changes site/type", ErrBadChain, i)
+		}
+	}
+	leaf := t.Leaf()
+	if now < leaf.NotBefore || now >= leaf.NotAfter {
+		return ErrExpired
+	}
+	return nil
+}
+
+// Delegate appends a claim transferring amount (≤ leaf amount) over a
+// sub-interval to a new holder, signed by the current holder's key.
+func (t *Ticket) Delegate(holder *identity.Principal, newHolderName string, newHolderKey ed25519.PublicKey, amount float64, notBefore, notAfter time.Duration, serial uint64) (*Ticket, error) {
+	leaf := t.Leaf()
+	if leaf == nil {
+		return nil, fmt.Errorf("%w: empty", ErrBadChain)
+	}
+	if !leaf.HolderKey.Equal(holder.Public()) {
+		return nil, ErrNotHolder
+	}
+	if amount <= 0 || amount > leaf.Amount {
+		return nil, fmt.Errorf("%w: %v of %v", ErrAmountWidened, amount, leaf.Amount)
+	}
+	if notBefore < leaf.NotBefore || notAfter > leaf.NotAfter || notAfter <= notBefore {
+		return nil, ErrIntervalGrew
+	}
+	c := Claim{
+		Site:       leaf.Site,
+		Type:       leaf.Type,
+		Amount:     amount,
+		NotBefore:  notBefore,
+		NotAfter:   notAfter,
+		Issuer:     leaf.Holder,
+		IssuerKey:  holder.Public(),
+		Holder:     newHolderName,
+		HolderKey:  newHolderKey,
+		Serial:     serial,
+		ParentHash: leaf.Hash(),
+	}
+	c.Sig = holder.Sign(c.tbs())
+	chain := append(append([]Claim(nil), t.Chain...), c)
+	return &Ticket{Chain: chain}, nil
+}
+
+// Lease is a hard claim: the authority has committed concrete resources,
+// backed by a dedicated capability minted at the site's node manager.
+type Lease struct {
+	ID        string
+	Site      string
+	Type      capability.ResourceType
+	Amount    float64
+	NotBefore time.Duration
+	NotAfter  time.Duration
+	CapID     capability.ID
+}
+
+// Authority is a site's SHARP root: it issues tickets against its
+// capacity (scaled by OversellFactor) and converts valid tickets to
+// leases while capacity remains.
+type Authority struct {
+	Site string
+	// OversellFactor >= 1 scales how many soft claims the authority
+	// issues relative to hard capacity (1.0 = conservative, no redeem
+	// conflicts from its own issuance).
+	OversellFactor float64
+
+	eng      *sim.Engine
+	signer   *identity.Principal
+	nm       *capability.NodeManager
+	capacity map[capability.ResourceType]float64
+	issued   map[capability.ResourceType]float64
+	redeemed map[[32]byte]bool
+	serial   uint64
+	leaseSeq int
+
+	// IssuedN, RedeemOK, RedeemConflict count outcomes for E9.
+	IssuedN, RedeemOK, RedeemConflict int
+}
+
+// NewAuthority creates a site authority over the given capacity. The
+// node manager enforces hard allocations; its dedicated capacity for each
+// type must match `cap` (the caller typically builds both together).
+func NewAuthority(eng *sim.Engine, site string, signer *identity.Principal, nm *capability.NodeManager, capacity map[capability.ResourceType]float64) *Authority {
+	capCopy := make(map[capability.ResourceType]float64, len(capacity))
+	for k, v := range capacity {
+		capCopy[k] = v
+	}
+	return &Authority{
+		Site:           site,
+		OversellFactor: 1,
+		eng:            eng,
+		signer:         signer,
+		nm:             nm,
+		capacity:       capCopy,
+		issued:         make(map[capability.ResourceType]float64),
+		redeemed:       make(map[[32]byte]bool),
+	}
+}
+
+// Key returns the authority's public key (peers pin this).
+func (a *Authority) Key() ed25519.PublicKey { return a.signer.Public() }
+
+// IssueTicket mints a root ticket for a holder, bounded by the oversell
+// budget: sum of issued soft claims <= capacity × OversellFactor.
+func (a *Authority) IssueTicket(holderName string, holderKey ed25519.PublicKey, typ capability.ResourceType, amount float64, notBefore, notAfter time.Duration) (*Ticket, error) {
+	if amount <= 0 || notAfter <= notBefore {
+		return nil, fmt.Errorf("sharp: bad issue request (amount %v, interval [%v,%v))", amount, notBefore, notAfter)
+	}
+	budget := a.capacity[typ] * a.OversellFactor
+	if a.issued[typ]+amount > budget {
+		return nil, fmt.Errorf("%w: issued %.1f + %.1f > %.1f", ErrOverIssue, a.issued[typ], amount, budget)
+	}
+	a.issued[typ] += amount
+	a.serial++
+	c := Claim{
+		Site:      a.Site,
+		Type:      typ,
+		Amount:    amount,
+		NotBefore: notBefore,
+		NotAfter:  notAfter,
+		Issuer:    a.signer.Name,
+		IssuerKey: a.signer.Public(),
+		Holder:    holderName,
+		HolderKey: holderKey,
+		Serial:    a.serial,
+	}
+	c.Sig = a.signer.Sign(c.tbs())
+	a.IssuedN++
+	return &Ticket{Chain: []Claim{c}}, nil
+}
+
+// Redeem converts a ticket to a lease: verify the chain, reject double
+// spends, then try to commit hard capacity at the node manager. Failure
+// to commit is the oversubscription conflict of Figure 2's step 5-6.
+func (a *Authority) Redeem(t *Ticket) (*Lease, error) {
+	now := a.eng.Now()
+	if t.Root() != nil && t.Root().Site != a.Site {
+		return nil, ErrWrongSite
+	}
+	if err := t.Verify(a.signer.Public(), now); err != nil {
+		return nil, err
+	}
+	leaf := t.Leaf()
+	h := leaf.Hash()
+	if a.redeemed[h] {
+		return nil, ErrDoubleSpend
+	}
+	cap_, err := a.nm.Mint(capability.MintRequest{
+		Type:      leaf.Type,
+		Amount:    leaf.Amount,
+		Dedicated: true,
+		NotBefore: leaf.NotBefore,
+		NotAfter:  leaf.NotAfter,
+	})
+	if err != nil {
+		a.RedeemConflict++
+		return nil, fmt.Errorf("%w: %v", ErrConflict, err)
+	}
+	a.redeemed[h] = true
+	a.leaseSeq++
+	a.RedeemOK++
+	return &Lease{
+		ID:        fmt.Sprintf("%s/lease%d", a.Site, a.leaseSeq),
+		Site:      a.Site,
+		Type:      leaf.Type,
+		Amount:    leaf.Amount,
+		NotBefore: leaf.NotBefore,
+		NotAfter:  leaf.NotAfter,
+		CapID:     cap_.ID,
+	}, nil
+}
+
+// ReleaseLease returns a lease's resources (service teardown).
+func (a *Authority) ReleaseLease(l *Lease) {
+	a.nm.Release(l.CapID)
+}
+
+// Agent is a SHARP broker: it accumulates tickets from site authorities
+// and resells subdivided tickets to service managers, tracking what is
+// left of each acquired ticket.
+type Agent struct {
+	Name string
+
+	signer *identity.Principal
+	serial uint64
+	// stock holds acquired tickets with their unsold remainder.
+	stock []*stockEntry
+
+	// SoldN counts delegations to service managers.
+	SoldN int
+}
+
+type stockEntry struct {
+	ticket    *Ticket
+	remaining float64
+}
+
+// NewAgent creates a broker around an existing signing principal.
+func NewAgent(signer *identity.Principal) *Agent {
+	return &Agent{Name: signer.Name, signer: signer}
+}
+
+// Key returns the agent's public key (authorities issue tickets to it).
+func (ag *Agent) Key() ed25519.PublicKey { return ag.signer.Public() }
+
+// Acquire stores a ticket issued to this agent (Figure 2 steps 1-2).
+func (ag *Agent) Acquire(t *Ticket) error {
+	leaf := t.Leaf()
+	if leaf == nil || !leaf.HolderKey.Equal(ag.signer.Public()) {
+		return ErrNotHolder
+	}
+	ag.stock = append(ag.stock, &stockEntry{ticket: t, remaining: leaf.Amount})
+	return nil
+}
+
+// Inventory returns the unsold amount held for a site and type.
+func (ag *Agent) Inventory(site string, typ capability.ResourceType) float64 {
+	total := 0.0
+	for _, s := range ag.stock {
+		leaf := s.ticket.Leaf()
+		if leaf.Site == site && leaf.Type == typ {
+			total += s.remaining
+		}
+	}
+	return total
+}
+
+// Sell delegates amount from stock to a buyer (Figure 2 steps 3-4),
+// possibly spanning multiple stocked tickets; each produces one
+// delegated ticket.
+func (ag *Agent) Sell(buyerName string, buyerKey ed25519.PublicKey, site string, typ capability.ResourceType, amount float64, notBefore, notAfter time.Duration) ([]*Ticket, error) {
+	if ag.Inventory(site, typ) < amount {
+		return nil, fmt.Errorf("%w: have %.1f, want %.1f", ErrInventory, ag.Inventory(site, typ), amount)
+	}
+	var out []*Ticket
+	need := amount
+	for _, s := range ag.stock {
+		if need <= 0 {
+			break
+		}
+		leaf := s.ticket.Leaf()
+		if leaf.Site != site || leaf.Type != typ || s.remaining <= 0 {
+			continue
+		}
+		take := need
+		if take > s.remaining {
+			take = s.remaining
+		}
+		nb, na := notBefore, notAfter
+		if nb < leaf.NotBefore {
+			nb = leaf.NotBefore
+		}
+		if na > leaf.NotAfter {
+			na = leaf.NotAfter
+		}
+		ag.serial++
+		sub, err := s.ticket.Delegate(ag.signer, buyerName, buyerKey, take, nb, na, ag.serial)
+		if err != nil {
+			return nil, err
+		}
+		s.remaining -= take
+		need -= take
+		out = append(out, sub)
+		ag.SoldN++
+	}
+	return out, nil
+}

@@ -1,0 +1,34 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	e := NewEngine(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(time.Duration(i%1000)*time.Millisecond, func() {})
+		if i%1024 == 1023 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+func BenchmarkFluidChurn(b *testing.B) {
+	// Arrival/departure churn over a shared resource: each iteration adds
+	// a consumer (forcing a reallocation over the live set).
+	e := NewEngine(1)
+	s := NewFluidSystem(e)
+	r := s.NewResource("link", 1e6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(&FluidConsumer{Name: "c", Weight: 1}, 1e4, r)
+		if i%64 == 63 {
+			e.Run() // drain completions
+		}
+	}
+	e.Run()
+}

@@ -1,0 +1,342 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// The fluid model approximates packet- or tick-level resource sharing with
+// piecewise-constant rates: a set of consumers drains work through a set of
+// capacity-limited resources, and rates are recomputed with weighted
+// max-min fairness (progressive filling) whenever the consumer set or any
+// capacity changes. This is the standard fluid approximation used by
+// flow-level network simulators; gridlab uses one instance for WAN
+// bandwidth sharing (internal/simnet) and one per node for
+// proportional-share CPU scheduling (internal/silk).
+
+// FluidResource is a capacity-limited resource, e.g. a link direction or a
+// node's CPU. Capacity is in work units per second.
+type FluidResource struct {
+	Name     string
+	capacity float64
+	sys      *FluidSystem
+}
+
+// Capacity returns the resource's current capacity in units/second.
+func (r *FluidResource) Capacity() float64 { return r.capacity }
+
+// SetCapacity changes the capacity and reallocates all rates.
+func (r *FluidResource) SetCapacity(c float64) {
+	if c < 0 || math.IsNaN(c) {
+		panic(fmt.Sprintf("sim: invalid capacity %v for %s", c, r.Name))
+	}
+	r.capacity = c
+	r.sys.reallocate()
+}
+
+// FluidConsumer is one unit of demand draining through one or more
+// resources simultaneously (a network flow traverses both endpoints'
+// access links; a CPU task uses one CPU).
+type FluidConsumer struct {
+	Name string
+	// Weight sets the consumer's share relative to competitors (stride /
+	// proportional-share semantics). Must be > 0.
+	Weight float64
+	// Limit caps the consumer's rate independent of fair share, in
+	// units/second; 0 means unlimited. Used for TCP loss-limited rates and
+	// token-bucket ceilings.
+	Limit float64
+	// OnDone fires when Remaining reaches zero; the consumer is removed
+	// before the callback runs.
+	OnDone func()
+
+	remaining  float64
+	total      float64
+	rate       float64
+	resources  []*FluidResource
+	sys        *FluidSystem
+	done       *Event
+	lastUpdate time.Duration
+	started    time.Duration
+}
+
+// doneEps is the absolute remaining-work tolerance below which the
+// consumer counts as finished; it scales with the original work size to
+// absorb float drift from repeated settling of large transfers.
+func (c *FluidConsumer) doneEps() float64 { return 1e-9 * (1 + c.total) }
+
+// Rate returns the currently allocated rate in units/second.
+func (c *FluidConsumer) Rate() float64 { return c.rate }
+
+// Remaining returns the work left as of the current virtual time.
+func (c *FluidConsumer) Remaining() float64 {
+	c.settle()
+	return c.remaining
+}
+
+// Started returns the virtual time the consumer was added.
+func (c *FluidConsumer) Started() time.Duration { return c.started }
+
+// settle charges progress since the last update at the current rate.
+func (c *FluidConsumer) settle() {
+	now := c.sys.eng.Now()
+	if now > c.lastUpdate {
+		c.remaining -= c.rate * (now - c.lastUpdate).Seconds()
+		if c.remaining < 0 {
+			c.remaining = 0
+		}
+	}
+	c.lastUpdate = now
+}
+
+// FluidSystem owns a set of resources and the consumers draining through
+// them, recomputing the weighted max-min fair allocation on every change.
+type FluidSystem struct {
+	eng       *Engine
+	resources []*FluidResource
+	consumers map[*FluidConsumer]struct{}
+	order     []*FluidConsumer // insertion order, for deterministic iteration
+}
+
+// NewFluidSystem returns an empty system bound to the engine.
+func NewFluidSystem(eng *Engine) *FluidSystem {
+	return &FluidSystem{
+		eng:       eng,
+		consumers: make(map[*FluidConsumer]struct{}),
+	}
+}
+
+// NewResource registers a resource with the given capacity (units/sec).
+func (s *FluidSystem) NewResource(name string, capacity float64) *FluidResource {
+	if capacity < 0 || math.IsNaN(capacity) {
+		panic(fmt.Sprintf("sim: invalid capacity %v for %s", capacity, name))
+	}
+	r := &FluidResource{Name: name, capacity: capacity, sys: s}
+	s.resources = append(s.resources, r)
+	return r
+}
+
+// Add starts a consumer with the given amount of work across the listed
+// resources and returns it. A consumer with no resources is limited only
+// by its Limit (or runs instantaneously if Limit is 0 — disallowed).
+func (s *FluidSystem) Add(c *FluidConsumer, work float64, resources ...*FluidResource) *FluidConsumer {
+	if c.Weight <= 0 {
+		panic(fmt.Sprintf("sim: consumer %q weight %v must be positive", c.Name, c.Weight))
+	}
+	if work < 0 || math.IsNaN(work) {
+		panic(fmt.Sprintf("sim: consumer %q invalid work %v", c.Name, work))
+	}
+	if len(resources) == 0 && c.Limit <= 0 {
+		panic(fmt.Sprintf("sim: consumer %q needs a resource or a rate limit", c.Name))
+	}
+	for _, r := range resources {
+		if r.sys != s {
+			panic(fmt.Sprintf("sim: consumer %q uses resource %q from another system", c.Name, r.Name))
+		}
+	}
+	c.sys = s
+	c.remaining = work
+	c.total = work
+	c.resources = append([]*FluidResource(nil), resources...)
+	c.lastUpdate = s.eng.Now()
+	c.started = s.eng.Now()
+	s.consumers[c] = struct{}{}
+	s.order = append(s.order, c)
+	s.reallocate()
+	return c
+}
+
+// Remove cancels a consumer without firing OnDone. Safe on finished ones.
+func (s *FluidSystem) Remove(c *FluidConsumer) {
+	if _, ok := s.consumers[c]; !ok {
+		return
+	}
+	c.settle()
+	s.detach(c)
+	s.reallocate()
+}
+
+func (s *FluidSystem) detach(c *FluidConsumer) {
+	delete(s.consumers, c)
+	for i, x := range s.order {
+		if x == c {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	if c.done != nil {
+		s.eng.Cancel(c.done)
+		c.done = nil
+	}
+	c.rate = 0
+}
+
+// Len returns the number of active consumers.
+func (s *FluidSystem) Len() int { return len(s.consumers) }
+
+// reallocate recomputes all rates via weighted progressive filling and
+// reschedules completion events.
+func (s *FluidSystem) reallocate() {
+	// Charge elapsed progress at old rates first.
+	for _, c := range s.order {
+		c.settle()
+	}
+	// Fire any consumers that finished exactly now.
+	var finished []*FluidConsumer
+	for _, c := range s.order {
+		if c.remaining <= c.doneEps() {
+			finished = append(finished, c)
+		}
+	}
+	for _, c := range finished {
+		s.detach(c)
+	}
+
+	// Progressive filling over the unfrozen set.
+	avail := make(map[*FluidResource]float64, len(s.resources))
+	for _, r := range s.resources {
+		avail[r] = r.capacity
+	}
+	unfrozen := make(map[*FluidConsumer]struct{}, len(s.order))
+	for _, c := range s.order {
+		unfrozen[c] = struct{}{}
+		c.rate = 0
+	}
+	for len(unfrozen) > 0 {
+		// Per-resource fair share per unit weight.
+		weightOn := make(map[*FluidResource]float64)
+		for _, c := range s.order {
+			if _, ok := unfrozen[c]; !ok {
+				continue
+			}
+			for _, r := range c.resources {
+				weightOn[r] += c.Weight
+			}
+		}
+		// The binding constraint is the minimum of resource ratios and
+		// consumer cap ratios (Limit/Weight).
+		minRatio := math.Inf(1)
+		var minRes *FluidResource
+		var minCapped *FluidConsumer
+		for _, r := range s.resources {
+			w := weightOn[r]
+			if w == 0 {
+				continue
+			}
+			ratio := avail[r] / w
+			if ratio < minRatio {
+				minRatio, minRes, minCapped = ratio, r, nil
+			}
+		}
+		for _, c := range s.order {
+			if _, ok := unfrozen[c]; !ok {
+				continue
+			}
+			if c.Limit > 0 {
+				ratio := c.Limit / c.Weight
+				if ratio < minRatio {
+					minRatio, minRes, minCapped = ratio, nil, c
+				}
+			}
+		}
+		switch {
+		case minCapped != nil:
+			// One consumer hits its rate cap below everyone's fair share.
+			minCapped.rate = minCapped.Limit
+			for _, r := range minCapped.resources {
+				avail[r] -= minCapped.rate
+				if avail[r] < 0 {
+					avail[r] = 0
+				}
+			}
+			delete(unfrozen, minCapped)
+		case minRes != nil:
+			// A resource saturates: freeze everyone crossing it.
+			for _, c := range s.order {
+				if _, ok := unfrozen[c]; !ok {
+					continue
+				}
+				uses := false
+				for _, r := range c.resources {
+					if r == minRes {
+						uses = true
+						break
+					}
+				}
+				if !uses {
+					continue
+				}
+				c.rate = c.Weight * minRatio
+				for _, r := range c.resources {
+					avail[r] -= c.rate
+					if avail[r] < 0 {
+						avail[r] = 0
+					}
+				}
+				delete(unfrozen, c)
+			}
+			avail[minRes] = 0
+		default:
+			// Only unconstrained, uncapped consumers remain (no resources
+			// at all would have been rejected at Add). Nothing binds: this
+			// can only happen when all their resources have infinite
+			// capacity — treat as unlimited via a large finite rate.
+			for c := range unfrozen {
+				c.rate = math.Inf(1)
+			}
+			unfrozen = nil
+		}
+	}
+
+	// Reschedule completions at the new rates.
+	for _, c := range s.order {
+		if c.done != nil {
+			s.eng.Cancel(c.done)
+			c.done = nil
+		}
+		if c.rate > 0 && !math.IsInf(c.rate, 1) {
+			// Round up to whole nanoseconds so the completion event never
+			// fires before the work is actually done (a truncated ETA
+			// would leave a sliver and loop at the same virtual time).
+			eta := time.Duration(math.Ceil(c.remaining / c.rate * float64(time.Second)))
+			if eta < 1 {
+				eta = 1
+			}
+			cc := c
+			c.done = s.eng.Schedule(eta, func() { s.finish(cc) })
+		} else if math.IsInf(c.rate, 1) {
+			cc := c
+			c.done = s.eng.Schedule(0, func() { s.finish(cc) })
+		}
+	}
+
+	// Run completion callbacks for consumers that were already done when
+	// we entered (after rates are consistent).
+	for _, c := range finished {
+		if c.OnDone != nil {
+			c.OnDone()
+		}
+	}
+}
+
+func (s *FluidSystem) finish(c *FluidConsumer) {
+	if _, ok := s.consumers[c]; !ok {
+		return
+	}
+	c.settle()
+	// Finished when within tolerance, or when the sliver left is smaller
+	// than one nanosecond of progress at the current rate (it can never
+	// be represented as a future event).
+	if c.remaining > c.doneEps() && c.remaining > c.rate*1e-9 {
+		// A rate change left real work; reallocate reschedules it.
+		s.reallocate()
+		return
+	}
+	c.remaining = 0
+	s.detach(c)
+	s.reallocate()
+	if c.OnDone != nil {
+		c.OnDone()
+	}
+}

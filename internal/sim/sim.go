@@ -1,0 +1,271 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// that every other gridlab subsystem runs on.
+//
+// The kernel models virtual time as a time.Duration offset from a zero
+// epoch. Events are callbacks scheduled at absolute virtual times and are
+// executed in (time, sequence) order, so runs are fully deterministic for
+// a given seed and schedule, regardless of host scheduling or map
+// iteration order.
+//
+// The kernel is intentionally single-threaded: gridlab simulates wide-area
+// concurrency by interleaving events, not by running goroutines, which is
+// what makes traces reproducible and assertable in tests.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Event is a scheduled callback. The zero Event is invalid; events are
+// created through Engine.Schedule and friends.
+type Event struct {
+	at     time.Duration
+	seq    uint64
+	fn     func()
+	index  int // heap index, -1 when popped or cancelled
+	cancel bool
+}
+
+// Time returns the virtual time at which the event fires.
+func (e *Event) Time() time.Duration { return e.at }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+// eventQueue is a min-heap ordered by (at, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation engine. It is not safe for
+// concurrent use; all simulated activity happens on the calling goroutine.
+type Engine struct {
+	now     time.Duration
+	seq     uint64
+	queue   eventQueue
+	rng     *rand.Rand
+	stopped bool
+	// processed counts events executed, for test and debug assertions.
+	processed uint64
+}
+
+// NewEngine returns an engine at virtual time zero whose random stream is
+// derived from seed. Two engines with equal seeds and schedules produce
+// identical runs.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Rand returns the engine's deterministic random stream. Subsystems must
+// draw all randomness from here (or from streams forked via ForkRand) so
+// runs stay reproducible.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// ForkRand returns an independent deterministic random stream derived from
+// the engine seed stream. Use one per subsystem so adding draws in one
+// subsystem does not perturb another.
+func (e *Engine) ForkRand() *rand.Rand {
+	return rand.New(rand.NewSource(e.rng.Int63()))
+}
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Schedule runs fn after delay (>= 0) of virtual time. It returns the
+// event so the caller may cancel it. Scheduling in the past panics: it
+// would silently reorder causality.
+func (e *Engine) Schedule(delay time.Duration, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute virtual time t (>= Now).
+func (e *Engine) At(t time.Duration, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Cancel prevents a pending event from firing. Cancelling an already fired
+// or already cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.cancel {
+		return
+	}
+	ev.cancel = true
+	if ev.index >= 0 {
+		heap.Remove(&e.queue, ev.index)
+	}
+}
+
+// Stop makes the current Run/RunUntil call return after the current event
+// completes. Pending events remain queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the single next event, advancing the clock to it. It
+// reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancel {
+			continue
+		}
+		e.now = ev.at
+		e.processed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil executes events with time <= t, then sets the clock to t.
+// Events scheduled beyond t remain queued.
+func (e *Engine) RunUntil(t time.Duration) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: RunUntil(%v) before now %v", t, e.now))
+	}
+	e.stopped = false
+	for !e.stopped {
+		if e.queue.Len() == 0 {
+			break
+		}
+		// Peek.
+		next := e.queue[0]
+		if next.at > t {
+			break
+		}
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Pending returns the number of queued (uncancelled) events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.cancel {
+			n++
+		}
+	}
+	return n
+}
+
+// Timer is a restartable one-shot timer bound to an engine, analogous to
+// time.Timer but in virtual time.
+type Timer struct {
+	eng *Engine
+	ev  *Event
+	fn  func()
+}
+
+// NewTimer returns a stopped timer that will invoke fn when it fires.
+func (e *Engine) NewTimer(fn func()) *Timer {
+	if fn == nil {
+		panic("sim: nil timer function")
+	}
+	return &Timer{eng: e, fn: fn}
+}
+
+// Reset (re)arms the timer to fire after d, cancelling any pending firing.
+func (t *Timer) Reset(d time.Duration) {
+	t.Stop()
+	t.ev = t.eng.Schedule(d, t.fn)
+}
+
+// Stop cancels a pending firing. It is a no-op on a stopped timer.
+func (t *Timer) Stop() {
+	if t.ev != nil {
+		t.eng.Cancel(t.ev)
+		t.ev = nil
+	}
+}
+
+// Ticker invokes fn every period until stopped.
+type Ticker struct {
+	eng     *Engine
+	period  time.Duration
+	fn      func()
+	ev      *Event
+	stopped bool
+}
+
+// NewTicker starts a ticker with the given period. The first tick fires
+// one period from now.
+func (e *Engine) NewTicker(period time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: ticker period %v must be positive", period))
+	}
+	t := &Ticker{eng: e, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.eng.Schedule(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop halts the ticker. Safe to call multiple times.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.ev != nil {
+		t.eng.Cancel(t.ev)
+		t.ev = nil
+	}
+}

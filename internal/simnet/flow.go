@@ -1,0 +1,264 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// FlowOpts configures a bulk data transfer.
+type FlowOpts struct {
+	// Streams is the number of parallel TCP streams (GridFTP-style
+	// striping). Zero means 1.
+	Streams int
+	// Paths lists overlay routes as sequences of relay host names
+	// (excluding the endpoints). An empty entry, or an empty Paths, means
+	// the direct path. Streams are spread round-robin across paths.
+	Paths [][]string
+	// Pooled makes streams share one byte pool mTCP-style: when a stream
+	// finishes early, it steals half of the largest remaining backlog, so
+	// fast paths carry more bytes. Without it the split is static, as in
+	// block-partitioned striped GridFTP.
+	Pooled bool
+	// Weight scales the flow's share against competing flows (default 1).
+	Weight float64
+}
+
+// Flow is an in-progress or completed bulk transfer.
+type Flow struct {
+	net    *Network
+	From   string
+	To     string
+	Bytes  float64
+	OnDone func(*Flow)
+	// OnFail fires when the flow is killed by a host failure along its
+	// path (SetDown). Abort does not trigger it.
+	OnFail func(*Flow, error)
+
+	opts      FlowOpts
+	streams   map[*sim.FluidConsumer][]*sim.FluidResource // consumer -> its path resources
+	pathOf    map[*sim.FluidConsumer]pathInfo
+	active    int
+	begun     time.Duration
+	ended     time.Duration
+	done      bool
+	aborted   bool
+	netstream int             // total streams ever created, for naming
+	hosts     map[string]bool // endpoints and relays, for failure kills
+}
+
+type pathInfo struct {
+	resources []*sim.FluidResource
+	limit     float64
+}
+
+// StartFlow begins transferring bytes from one host to another and returns
+// the flow handle. The flow's OnDone callback (set via opts on the returned
+// Flow before the engine next runs, or passed as onDone) fires at
+// completion. Errors are returned synchronously for unusable paths.
+func (n *Network) StartFlow(from, to string, bytes float64, opts FlowOpts, onDone func(*Flow)) (*Flow, error) {
+	src, dst := n.hosts[from], n.hosts[to]
+	if src == nil || dst == nil {
+		return nil, ErrNoSuchHost
+	}
+	if src.downFlag || dst.downFlag {
+		return nil, ErrHostDown
+	}
+	if bytes <= 0 {
+		return nil, fmt.Errorf("simnet: flow of %v bytes", bytes)
+	}
+	if opts.Streams <= 0 {
+		opts.Streams = 1
+	}
+	if opts.Weight <= 0 {
+		opts.Weight = 1
+	}
+	if len(opts.Paths) == 0 {
+		opts.Paths = [][]string{nil}
+	}
+
+	// Resolve each path to its resource chain and TCP limit.
+	paths := make([]pathInfo, 0, len(opts.Paths))
+	for _, relays := range opts.Paths {
+		pi, err := n.resolvePath(src, dst, relays)
+		if err != nil {
+			return nil, err
+		}
+		paths = append(paths, pi)
+	}
+
+	f := &Flow{
+		net:     n,
+		From:    from,
+		To:      to,
+		Bytes:   bytes,
+		opts:    opts,
+		streams: make(map[*sim.FluidConsumer][]*sim.FluidResource),
+		pathOf:  make(map[*sim.FluidConsumer]pathInfo),
+		begun:   n.eng.Now(),
+		OnDone:  onDone,
+	}
+	f.hosts = map[string]bool{from: true, to: true}
+	for _, relays := range opts.Paths {
+		for _, r := range relays {
+			f.hosts[r] = true
+		}
+	}
+	n.active[f] = struct{}{}
+	src.BytesSent += bytes
+
+	per := bytes / float64(opts.Streams)
+	for i := 0; i < opts.Streams; i++ {
+		f.addStream(paths[i%len(paths)], per)
+	}
+	return f, nil
+}
+
+// resolvePath walks src -> relays... -> dst, collecting the access-link
+// resources each segment crosses and computing the Mathis TCP rate cap for
+// the concatenated path.
+func (n *Network) resolvePath(src, dst *Host, relays []string) (pathInfo, error) {
+	hops := make([]*Host, 0, len(relays)+2)
+	hops = append(hops, src)
+	for _, r := range relays {
+		h := n.hosts[r]
+		if h == nil {
+			return pathInfo{}, fmt.Errorf("%w: relay %q", ErrNoSuchHost, r)
+		}
+		if h.downFlag {
+			return pathInfo{}, fmt.Errorf("%w: relay %q", ErrHostDown, r)
+		}
+		hops = append(hops, h)
+	}
+	hops = append(hops, dst)
+
+	var resources []*sim.FluidResource
+	var rtt time.Duration
+	survive := 1.0
+	for i := 0; i+1 < len(hops); i++ {
+		a, b := hops[i], hops[i+1]
+		if n.Partitioned(a.Site, b.Site) {
+			return pathInfo{}, fmt.Errorf("%w: %s-%s", ErrPartitioned, a.Site, b.Site)
+		}
+		rtt += 2 * n.Latency(a.Site, b.Site)
+		survive *= 1 - n.Loss(a.Site, b.Site)
+		resources = append(resources, a.up, b.down)
+	}
+	loss := 1 - survive
+	// De-duplicate resources (a relay contributes its down then its up; no
+	// duplicates arise today, but overlapping future topologies could).
+	seen := make(map[*sim.FluidResource]bool, len(resources))
+	uniq := resources[:0]
+	for _, r := range resources {
+		if !seen[r] {
+			seen[r] = true
+			uniq = append(uniq, r)
+		}
+	}
+	for _, r := range uniq {
+		if r.Capacity() <= 0 {
+			return pathInfo{}, ErrZeroCapacity
+		}
+	}
+	limit := 0.0 // 0 = uncapped
+	if loss > 0 {
+		// Mathis et al.: BW = MSS / (RTT * sqrt(2p/3)).
+		limit = n.MTU / (rtt.Seconds() * math.Sqrt(2*loss/3))
+	}
+	return pathInfo{resources: uniq, limit: limit}, nil
+}
+
+func (f *Flow) addStream(pi pathInfo, bytes float64) {
+	f.netstream++
+	f.active++
+	c := &sim.FluidConsumer{
+		Name:   fmt.Sprintf("%s->%s#%d", f.From, f.To, f.netstream),
+		Weight: f.opts.Weight,
+		Limit:  pi.limit,
+	}
+	c.OnDone = func() { f.streamDone(c) }
+	f.net.flows.Add(c, bytes, pi.resources...)
+	f.streams[c] = pi.resources
+	f.pathOf[c] = pi
+}
+
+func (f *Flow) streamDone(c *sim.FluidConsumer) {
+	delete(f.streams, c)
+	donePath := f.pathOf[c]
+	delete(f.pathOf, c)
+	f.active--
+	if f.aborted {
+		return
+	}
+	if f.opts.Pooled && f.active > 0 {
+		// Steal half of the largest backlog onto the just-freed path.
+		var victim *sim.FluidConsumer
+		var max float64
+		for s := range f.streams {
+			if r := s.Remaining(); r > max {
+				max, victim = r, s
+			}
+		}
+		// Only worth re-splitting if there is meaningful work to steal.
+		if victim != nil && max > f.net.MTU {
+			vicPath := f.pathOf[victim]
+			f.net.flows.Remove(victim)
+			delete(f.streams, victim)
+			delete(f.pathOf, victim)
+			f.active--
+			f.addStream(vicPath, max/2)
+			f.addStream(donePath, max/2)
+			return
+		}
+	}
+	if f.active == 0 && !f.done {
+		f.done = true
+		f.ended = f.net.eng.Now()
+		delete(f.net.active, f)
+		if f.OnDone != nil {
+			f.OnDone(f)
+		}
+	}
+}
+
+// fail kills the flow because a host on its path died.
+func (f *Flow) fail(err error) {
+	if f.done || f.aborted {
+		return
+	}
+	f.Abort()
+	if f.OnFail != nil {
+		f.OnFail(f, err)
+	}
+}
+
+// Abort cancels all in-progress streams. OnDone does not fire.
+func (f *Flow) Abort() {
+	if f.done || f.aborted {
+		return
+	}
+	f.aborted = true
+	delete(f.net.active, f)
+	for c := range f.streams {
+		f.net.flows.Remove(c)
+	}
+	f.streams = map[*sim.FluidConsumer][]*sim.FluidResource{}
+	f.active = 0
+}
+
+// Done reports whether the transfer completed.
+func (f *Flow) Done() bool { return f.done }
+
+// Duration returns the elapsed transfer time; valid once Done.
+func (f *Flow) Duration() time.Duration { return f.ended - f.begun }
+
+// ThroughputBps returns bytes/second achieved; valid once Done.
+func (f *Flow) ThroughputBps() float64 {
+	d := f.Duration().Seconds()
+	if d <= 0 {
+		return math.Inf(1)
+	}
+	return f.Bytes / d
+}

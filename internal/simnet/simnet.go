@@ -1,0 +1,355 @@
+// Package simnet models the wide-area network that both the Globus and
+// PlanetLab stacks ride on: hosts grouped into sites, propagation latency
+// derived from site coordinates, per-host access-link bandwidth shared
+// max-min fairly among flows, loss-limited TCP throughput (Mathis model),
+// message loss, and site partitions.
+//
+// simnet exposes two planes:
+//
+//   - a control plane of small messages (Send / Call RPC) used by every
+//     middleware protocol, with per-host counters so experiments can report
+//     control messages per operation; and
+//   - a data plane of bulk flows (StartFlow) used by the data-grid
+//     experiments, built on the sim fluid-sharing model.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Common errors returned by the control plane.
+var (
+	ErrTimeout      = errors.New("simnet: call timed out")
+	ErrNoSuchHost   = errors.New("simnet: no such host")
+	ErrNoHandler    = errors.New("simnet: no handler for service")
+	ErrPartitioned  = errors.New("simnet: sites partitioned")
+	ErrHostDown     = errors.New("simnet: host down")
+	ErrFlowAborted  = errors.New("simnet: flow aborted")
+	ErrZeroCapacity = errors.New("simnet: zero-capacity path")
+)
+
+// Site is a named location with coordinates in "latency space": the
+// propagation delay between two sites is the Euclidean distance between
+// their coordinates, interpreted in milliseconds, plus 1ms.
+type Site struct {
+	Name string
+	X, Y float64
+}
+
+// Handler serves a control-plane request and returns a response.
+// Returning an error delivers the error string to the caller.
+type Handler func(from string, req any) (any, error)
+
+// Host is a network endpoint. Hosts belong to a site, have finite
+// access-link capacity in each direction, and register named service
+// handlers for the RPC plane.
+type Host struct {
+	Name string
+	Site string
+
+	net      *Network
+	up, down *sim.FluidResource
+	handlers map[string]Handler
+	downFlag bool
+
+	// MsgsSent and MsgsRecv count control-plane messages (requests and
+	// responses separately), for the E3 scale experiment.
+	MsgsSent, MsgsRecv uint64
+	// BytesSent counts data-plane bytes originated by this host.
+	BytesSent float64
+}
+
+// Network is the simulated WAN.
+type Network struct {
+	eng   *sim.Engine
+	flows *sim.FluidSystem
+	rng   *rand.Rand
+
+	sites map[string]*Site
+	hosts map[string]*Host
+
+	latOverride map[[2]string]time.Duration
+	lossRate    map[[2]string]float64
+	partitioned map[[2]string]bool
+	active      map[*Flow]struct{}
+
+	// BaseLoss is the default packet-loss probability on any inter-site
+	// path (intra-site paths are lossless).
+	BaseLoss float64
+	// MTU is the TCP segment size used by the Mathis throughput model.
+	MTU float64
+
+	// Trace, when non-nil, receives a line per control-plane delivery.
+	Trace func(format string, args ...any)
+}
+
+// New returns an empty network bound to the engine.
+func New(eng *sim.Engine) *Network {
+	return &Network{
+		eng:         eng,
+		flows:       sim.NewFluidSystem(eng),
+		rng:         eng.ForkRand(),
+		sites:       make(map[string]*Site),
+		hosts:       make(map[string]*Host),
+		latOverride: make(map[[2]string]time.Duration),
+		lossRate:    make(map[[2]string]float64),
+		partitioned: make(map[[2]string]bool),
+		active:      make(map[*Flow]struct{}),
+		MTU:         1460,
+	}
+}
+
+// Engine returns the simulation engine the network is bound to.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// AddSite registers a site at the given latency-space coordinates.
+func (n *Network) AddSite(name string, x, y float64) *Site {
+	if _, dup := n.sites[name]; dup {
+		panic(fmt.Sprintf("simnet: duplicate site %q", name))
+	}
+	s := &Site{Name: name, X: x, Y: y}
+	n.sites[name] = s
+	return s
+}
+
+// AddHost registers a host at a site with symmetric access-link capacity
+// in bytes/second.
+func (n *Network) AddHost(name, site string, linkBps float64) *Host {
+	if _, dup := n.hosts[name]; dup {
+		panic(fmt.Sprintf("simnet: duplicate host %q", name))
+	}
+	if _, ok := n.sites[site]; !ok {
+		panic(fmt.Sprintf("simnet: host %q references unknown site %q", name, site))
+	}
+	h := &Host{
+		Name:     name,
+		Site:     site,
+		net:      n,
+		up:       n.flows.NewResource(name+"/up", linkBps),
+		down:     n.flows.NewResource(name+"/down", linkBps),
+		handlers: make(map[string]Handler),
+	}
+	n.hosts[name] = h
+	return h
+}
+
+// Host returns a host by name, or nil.
+func (n *Network) Host(name string) *Host { return n.hosts[name] }
+
+// Hosts returns the number of registered hosts.
+func (n *Network) Hosts() int { return len(n.hosts) }
+
+// SetDown marks a host as failed (true) or recovered (false). Messages to
+// and from a down host are dropped, and in-flight flows whose path
+// touches the host are killed (their OnFail fires).
+func (n *Network) SetDown(host string, down bool) {
+	h := n.hosts[host]
+	if h == nil {
+		panic(fmt.Sprintf("simnet: SetDown on unknown host %q", host))
+	}
+	h.downFlag = down
+	if !down {
+		return
+	}
+	var victims []*Flow
+	for f := range n.active {
+		if f.hosts[host] {
+			victims = append(victims, f)
+		}
+	}
+	for _, f := range victims {
+		f.fail(fmt.Errorf("%w: %s", ErrHostDown, host))
+	}
+}
+
+func pairKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// SetLatency overrides the site-to-site propagation latency.
+func (n *Network) SetLatency(siteA, siteB string, d time.Duration) {
+	n.latOverride[pairKey(siteA, siteB)] = d
+}
+
+// SetLoss sets the packet-loss probability between two sites, overriding
+// BaseLoss for that pair.
+func (n *Network) SetLoss(siteA, siteB string, p float64) {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("simnet: loss %v out of range [0,1)", p))
+	}
+	n.lossRate[pairKey(siteA, siteB)] = p
+}
+
+// Partition cuts (or heals, with false) connectivity between two sites.
+func (n *Network) Partition(siteA, siteB string, cut bool) {
+	n.partitioned[pairKey(siteA, siteB)] = cut
+}
+
+// Latency returns the one-way propagation delay between two sites.
+func (n *Network) Latency(siteA, siteB string) time.Duration {
+	if siteA == siteB {
+		return 500 * time.Microsecond
+	}
+	if d, ok := n.latOverride[pairKey(siteA, siteB)]; ok {
+		return d
+	}
+	a, b := n.sites[siteA], n.sites[siteB]
+	if a == nil || b == nil {
+		panic(fmt.Sprintf("simnet: latency between unknown sites %q,%q", siteA, siteB))
+	}
+	dx, dy := a.X-b.X, a.Y-b.Y
+	ms := math.Sqrt(dx*dx+dy*dy) + 1
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+// Loss returns the packet-loss probability between two sites.
+func (n *Network) Loss(siteA, siteB string) float64 {
+	if siteA == siteB {
+		return 0
+	}
+	if p, ok := n.lossRate[pairKey(siteA, siteB)]; ok {
+		return p
+	}
+	return n.BaseLoss
+}
+
+// Partitioned reports whether the two sites are currently cut off.
+func (n *Network) Partitioned(siteA, siteB string) bool {
+	if siteA == siteB {
+		return false
+	}
+	return n.partitioned[pairKey(siteA, siteB)]
+}
+
+// RTT returns the round-trip time between two hosts.
+func (n *Network) RTT(hostA, hostB string) time.Duration {
+	a, b := n.hosts[hostA], n.hosts[hostB]
+	if a == nil || b == nil {
+		panic(fmt.Sprintf("simnet: RTT between unknown hosts %q,%q", hostA, hostB))
+	}
+	return 2 * n.Latency(a.Site, b.Site)
+}
+
+// Handle registers (or replaces) the handler for a named service on the
+// host.
+func (h *Host) Handle(service string, fn Handler) {
+	if fn == nil {
+		panic("simnet: nil handler")
+	}
+	h.handlers[service] = fn
+}
+
+// Down reports whether the host is marked failed.
+func (h *Host) Down() bool { return h.downFlag }
+
+// LinkBps returns the host's access-link capacity in bytes/second.
+func (h *Host) LinkBps() float64 { return h.up.Capacity() }
+
+// deliverable reports whether a message can travel from a to b now, and
+// the latency it would experience.
+func (n *Network) deliverable(a, b *Host) (time.Duration, error) {
+	if a == nil || b == nil {
+		return 0, ErrNoSuchHost
+	}
+	if a.downFlag || b.downFlag {
+		return 0, ErrHostDown
+	}
+	if n.Partitioned(a.Site, b.Site) {
+		return 0, ErrPartitioned
+	}
+	return n.Latency(a.Site, b.Site), nil
+}
+
+// Send delivers a one-way message to a service on the destination host.
+// Delivery is best-effort: loss, partitions and down hosts silently drop
+// it (like a UDP datagram). The handler's response, if any, is discarded.
+func (n *Network) Send(from, to, service string, msg any) {
+	a, b := n.hosts[from], n.hosts[to]
+	lat, err := n.deliverable(a, b)
+	if err != nil {
+		return
+	}
+	a.MsgsSent++
+	if n.rng.Float64() < n.Loss(a.Site, b.Site) {
+		return // dropped in flight
+	}
+	n.eng.Schedule(lat, func() {
+		if b.downFlag {
+			return
+		}
+		b.MsgsRecv++
+		if n.Trace != nil {
+			n.Trace("%v  %s -> %s  %s", n.eng.Now(), from, to, service)
+		}
+		if fn, ok := b.handlers[service]; ok {
+			fn(from, msg) // response discarded for one-way sends
+		}
+	})
+}
+
+// Call performs a request/response RPC and invokes done exactly once with
+// the result. Lost requests or responses surface as ErrTimeout after the
+// deadline. Calls are asynchronous because the kernel is event-driven;
+// CallSync in package rpcutil-style wrappers is intentionally absent.
+func (n *Network) Call(from, to, service string, req any, timeout time.Duration, done func(resp any, err error)) {
+	if done == nil {
+		panic("simnet: nil completion for Call")
+	}
+	a, b := n.hosts[from], n.hosts[to]
+	lat, err := n.deliverable(a, b)
+	if err != nil {
+		n.eng.Schedule(0, func() { done(nil, err) })
+		return
+	}
+	finished := false
+	finish := func(resp any, err error) {
+		if finished {
+			return
+		}
+		finished = true
+		done(resp, err)
+	}
+	if timeout > 0 {
+		n.eng.Schedule(timeout, func() { finish(nil, ErrTimeout) })
+	}
+	a.MsgsSent++
+	if n.rng.Float64() < n.Loss(a.Site, b.Site) {
+		return // request lost; timeout will fire
+	}
+	n.eng.Schedule(lat, func() {
+		if b.downFlag {
+			return
+		}
+		b.MsgsRecv++
+		if n.Trace != nil {
+			n.Trace("%v  %s -> %s  %s (call)", n.eng.Now(), from, to, service)
+		}
+		fn, ok := b.handlers[service]
+		if !ok {
+			// "Connection refused" is observable, unlike loss.
+			n.eng.Schedule(lat, func() { finish(nil, ErrNoHandler) })
+			return
+		}
+		resp, herr := fn(from, req)
+		b.MsgsSent++
+		if n.rng.Float64() < n.Loss(a.Site, b.Site) {
+			return // response lost
+		}
+		n.eng.Schedule(lat, func() {
+			if a.downFlag {
+				return
+			}
+			a.MsgsRecv++
+			finish(resp, herr)
+		})
+	})
+}
