@@ -1,0 +1,64 @@
+package main
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+)
+
+// Every example program must build and run to completion quickly: they are
+// the repo's documentation-by-code and the first thing a new reader tries.
+// Each gets a short wall-clock deadline so a hung simulation (e.g. a flow
+// whose completion callback never fires) turns into a test failure instead
+// of a stuck CI job.
+func TestExamplesBuildAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke test skipped in -short mode")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Join(root, "examples"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, e.Name())
+		}
+	}
+	sort.Strings(dirs)
+	if len(dirs) == 0 {
+		t.Fatal("no example programs found under examples/")
+	}
+	for _, dir := range dirs {
+		t.Run(dir, func(t *testing.T) {
+			bin := filepath.Join(t.TempDir(), dir)
+			build := exec.Command("go", "build", "-o", bin, "./examples/"+dir)
+			build.Dir = root
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build failed: %v\n%s", err, out)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			run := exec.CommandContext(ctx, bin)
+			run.Dir = root
+			out, err := run.CombinedOutput()
+			if ctx.Err() == context.DeadlineExceeded {
+				t.Fatalf("example hung past deadline\noutput so far:\n%s", out)
+			}
+			if err != nil {
+				t.Fatalf("run failed: %v\n%s", err, out)
+			}
+			if len(out) == 0 {
+				t.Error("example produced no output")
+			}
+		})
+	}
+}

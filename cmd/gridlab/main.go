@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	gridlab [-seed N] <table1|fig1|fig2|scale|proxylife|delegation|allocation|hetero|datagrid|oversub|all>
+//	gridlab [-seed N] <table1|fig1|fig2|scale|proxylife|delegation|allocation|hetero|datagrid|oversub|chaos|all>
+//	gridlab chaos [-seed N] [-profile quiet|crashes|partitions|mixed] [-sweep N]
 package main
 
 import (
@@ -15,9 +16,14 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultlab"
 )
 
-var seed = flag.Int64("seed", 42, "simulation seed (runs are deterministic per seed)")
+var (
+	seed    = flag.Int64("seed", 42, "simulation seed (runs are deterministic per seed)")
+	profile = flag.String("profile", "mixed", "chaos fault profile (quiet|crashes|partitions|mixed)")
+	sweep   = flag.Int("sweep", 0, "chaos: run N seeds x all profiles instead of one run")
+)
 
 type command struct {
 	name, desc string
@@ -91,6 +97,39 @@ func commands() []command {
 			core.RenderProbeMatrix(os.Stdout, *seed, specs)
 			return nil
 		}},
+		{"chaos", "fault injection: seed-driven faults + cross-stack invariant audit", func() error {
+			cfg := faultlab.DefaultChaosConfig()
+			if *sweep > 0 {
+				res := faultlab.Sweep(*seed, *sweep, faultlab.Profiles(), cfg)
+				fmt.Print(res)
+				if !res.OK() {
+					return fmt.Errorf("invariant violations found")
+				}
+				return nil
+			}
+			p, err := faultlab.ProfileByName(*profile)
+			if err != nil {
+				return err
+			}
+			rep := faultlab.RunChaos(*seed, p, cfg)
+			fmt.Print(rep.Schedule)
+			fmt.Println()
+			for _, line := range rep.Trace {
+				fmt.Println(line)
+			}
+			fmt.Println()
+			fmt.Print(rep.Summary)
+			if !rep.OK() {
+				fmt.Println("\ninvariant violations:")
+				for _, v := range rep.Violations {
+					fmt.Printf("  %s\n", v)
+				}
+				fmt.Printf("repro: %s\n", rep.Repro())
+				return fmt.Errorf("%d invariant violations", len(rep.Violations))
+			}
+			fmt.Println("\nall invariants held")
+			return nil
+		}},
 		{"recs", "§6 recommendations mapped to their demonstrations in this repo", func() error {
 			core.RenderRecommendations(os.Stdout)
 			return nil
@@ -112,11 +151,21 @@ func commands() []command {
 func main() {
 	flag.Usage = usage
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if flag.NArg() < 1 {
 		usage()
 		os.Exit(2)
 	}
 	name := flag.Arg(0)
+	// Allow flags after the subcommand too: gridlab chaos -seed 7 -profile crashes.
+	if flag.NArg() > 1 {
+		if err := flag.CommandLine.Parse(flag.Args()[1:]); err != nil {
+			os.Exit(2)
+		}
+		if flag.NArg() != 0 {
+			usage()
+			os.Exit(2)
+		}
+	}
 	cmds := commands()
 	if name == "all" {
 		for _, c := range cmds {

@@ -192,6 +192,12 @@ type Federation struct {
 	Deployer   *broker.Deployer
 
 	users map[string]*identity.Credential
+
+	// Fault bookkeeping (see faults.go).
+	faultObs     []FaultObserver
+	downSince    map[string]time.Duration
+	downDeclared map[string]bool
+	downLog      map[string][]DownInterval
 }
 
 // Config tunes federation construction.

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// This file is the fault surface of a built federation: the operations a
+// fault injector uses to kill and revive sites, and the bookkeeping audits
+// need to ask "was this site down at time t?" afterwards. The distinction
+// between CrashSite and CrashNode mirrors the paper's two failure
+// diagnoses: a declared site outage is something the VO's management plane
+// hears about (PlanetLab's central operators power-cycle the node, the
+// service manager redeploys), while a silent node crash is only ever
+// discovered indirectly — through MDS registrations drying up and jobs
+// never calling back.
+
+// DownInterval is one recorded outage of a site. Open marks an outage
+// still in progress (To is meaningless while Open).
+type DownInterval struct {
+	From time.Duration
+	To   time.Duration
+	Open bool
+}
+
+// FaultObserver is notified of *declared* site state changes. Silent
+// crashes (CrashNode) bypass observers by design.
+type FaultObserver func(site string, down bool)
+
+// SiteByName finds a site by its spec name, nil when absent.
+func (f *Federation) SiteByName(name string) *Site {
+	for _, s := range f.Sites {
+		if s.Spec.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// AddFaultObserver registers a declared-outage observer.
+func (f *Federation) AddFaultObserver(fn FaultObserver) {
+	f.faultObs = append(f.faultObs, fn)
+}
+
+// SiteDown reports whether the named site is currently crashed.
+func (f *Federation) SiteDown(name string) bool {
+	if f.downSince == nil {
+		return false
+	}
+	_, down := f.downSince[name]
+	return down
+}
+
+// DownLog returns the recorded outage intervals for a site, oldest first.
+func (f *Federation) DownLog(name string) []DownInterval {
+	return f.downLog[name]
+}
+
+// HostDownSince maps a service host back to its site and reports when that
+// site went down (ok=false when the host's site is up or unknown).
+func (f *Federation) HostDownSince(host string) (time.Duration, bool) {
+	for _, s := range f.Sites {
+		if s.Host == host {
+			since, down := f.downSince[s.Spec.Name]
+			return since, down
+		}
+	}
+	return 0, false
+}
+
+// CrashSite takes a site down as a declared outage: the network host dies
+// (killing flows and dropping messages), the batch manager loses every
+// job, and fault observers are told so management planes can react.
+func (f *Federation) CrashSite(name string) { f.crash(name, true) }
+
+// CrashNode takes the site down silently: same physical effect, but no
+// observer hears — the failure must be discovered through soft state.
+func (f *Federation) CrashNode(name string) { f.crash(name, false) }
+
+func (f *Federation) crash(name string, declared bool) {
+	s := f.SiteByName(name)
+	if s == nil || !s.Joined {
+		return
+	}
+	if f.downSince == nil {
+		f.downSince = make(map[string]time.Duration)
+		f.downDeclared = make(map[string]bool)
+		f.downLog = make(map[string][]DownInterval)
+	}
+	if _, already := f.downSince[name]; already {
+		return
+	}
+	now := f.Eng.Now()
+	f.downSince[name] = now
+	f.downDeclared[name] = declared
+	f.downLog[name] = append(f.downLog[name], DownInterval{From: now, Open: true})
+	f.Net.SetDown(s.Host, true)
+	if s.Batch != nil {
+		s.Batch.Crash(fmt.Errorf("core: site %s crashed at %v", name, now))
+	}
+	if declared {
+		for _, fn := range f.faultObs {
+			fn(name, true)
+		}
+	}
+}
+
+// RestoreSite brings a crashed site back: the host rejoins the network
+// (MDS pushes resume on their tickers) and, for declared outages,
+// observers hear about the recovery.
+func (f *Federation) RestoreSite(name string) {
+	s := f.SiteByName(name)
+	if s == nil {
+		return
+	}
+	if _, down := f.downSince[name]; !down {
+		return
+	}
+	now := f.Eng.Now()
+	delete(f.downSince, name)
+	log := f.downLog[name]
+	log[len(log)-1].To = now
+	log[len(log)-1].Open = false
+	f.Net.SetDown(s.Host, false)
+	declared := f.downDeclared[name]
+	delete(f.downDeclared, name)
+	if declared {
+		for _, fn := range f.faultObs {
+			fn(name, false)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/gram"
+)
+
+func faultSpecs() []SiteSpec {
+	return []SiteSpec{
+		{Name: "s00", X: 10, Y: 0, Nodes: 2, ClusterSlots: 8, Policy: PlanetLabSitePolicy()},
+		{Name: "s01", X: 20, Y: 10, Nodes: 2, ClusterSlots: 8, Policy: PlanetLabSitePolicy()},
+	}
+}
+
+func TestCrashSiteNotifiesObserversAndLogs(t *testing.T) {
+	f := Build(StackHybrid, Config{Seed: 1}, faultSpecs())
+	var events []string
+	f.AddFaultObserver(func(site string, down bool) {
+		state := "up"
+		if down {
+			state = "down"
+		}
+		events = append(events, site+":"+state)
+	})
+	start := f.Eng.Now()
+	f.CrashSite("s00")
+	if !f.SiteDown("s00") {
+		t.Fatal("site not down after CrashSite")
+	}
+	f.Eng.RunUntil(start + time.Hour)
+	f.RestoreSite("s00")
+	if f.SiteDown("s00") {
+		t.Fatal("site down after RestoreSite")
+	}
+	if len(events) != 2 || events[0] != "s00:down" || events[1] != "s00:up" {
+		t.Errorf("observer events = %v", events)
+	}
+	log := f.DownLog("s00")
+	if len(log) != 1 || log[0].Open || log[0].From != start || log[0].To != start+time.Hour {
+		t.Errorf("down log = %+v", log)
+	}
+}
+
+func TestCrashNodeIsSilent(t *testing.T) {
+	f := Build(StackHybrid, Config{Seed: 1}, faultSpecs())
+	notified := 0
+	f.AddFaultObserver(func(string, bool) { notified++ })
+	f.CrashNode("s00")
+	if !f.SiteDown("s00") {
+		t.Fatal("site not down after CrashNode")
+	}
+	f.RestoreSite("s00")
+	if notified != 0 {
+		t.Errorf("silent crash notified observers %d times", notified)
+	}
+	if len(f.DownLog("s00")) != 1 {
+		t.Errorf("down log = %+v", f.DownLog("s00"))
+	}
+}
+
+// mustSubmitProbeJob submits a long probe job to the site's gatekeeper
+// and returns an accessor for it.
+func mustSubmitProbeJob(t *testing.T, f *Federation, s *Site) *gram.Job {
+	t.Helper()
+	user := f.User("fault-user")
+	proxy, err := user.Delegate("fault-user/p", f.Eng.Now(), 12*time.Hour, nil, f.Rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobID string
+	gram.Submit(f.Net, "vo-broker", s.Host, gram.SubmitRequest{
+		Cred: proxy,
+		Spec: gram.JobSpec{
+			RSL:       "&(executable=probe)(count=1)(maxWallTime=3600)",
+			ActualRun: 30 * time.Minute,
+		},
+	}, 30*time.Second, func(rep gram.SubmitReply, err error) {
+		if err != nil {
+			t.Errorf("submit: %v", err)
+			return
+		}
+		jobID = rep.JobID
+	})
+	f.Eng.RunUntil(f.Eng.Now() + 5*time.Second)
+	if jobID == "" {
+		t.Fatal("submission never completed")
+	}
+	return s.Gatekeeper.Job(jobID)
+}
+
+func TestCrashSiteFailsItsJobs(t *testing.T) {
+	f := Build(StackHybrid, Config{Seed: 1}, faultSpecs())
+	s := f.SiteByName("s00")
+	j := mustSubmitProbeJob(t, f, s)
+	f.Eng.RunUntil(f.Eng.Now() + 10*time.Second)
+	if j.State() != gram.Active {
+		t.Fatalf("job state = %v before crash", j.State())
+	}
+	f.CrashSite("s00")
+	if j.State() != gram.Failed {
+		t.Fatalf("job state after crash = %v", j.State())
+	}
+	// The completion event scheduled for the crashed job must be a no-op.
+	f.Eng.RunUntil(f.Eng.Now() + time.Hour)
+	if j.State() != gram.Failed {
+		t.Errorf("job resurrected to %v", j.State())
+	}
+}
+
+func TestHostDownSince(t *testing.T) {
+	f := Build(StackHybrid, Config{Seed: 1}, faultSpecs())
+	if _, down := f.HostDownSince("gk-s00"); down {
+		t.Fatal("host down before crash")
+	}
+	f.Eng.RunUntil(time.Minute)
+	f.CrashNode("s00")
+	since, down := f.HostDownSince("gk-s00")
+	if !down || since != time.Minute {
+		t.Errorf("HostDownSince = %v, %v", since, down)
+	}
+	if _, down := f.HostDownSince("no-such-host"); down {
+		t.Error("unknown host reported down")
+	}
+}
+
+func TestCrashIdempotentAndUnknownSiteNoop(t *testing.T) {
+	f := Build(StackHybrid, Config{Seed: 1}, faultSpecs())
+	f.CrashSite("s00")
+	f.CrashSite("s00") // second crash is a no-op
+	if len(f.DownLog("s00")) != 1 {
+		t.Errorf("double crash logged twice: %+v", f.DownLog("s00"))
+	}
+	f.CrashSite("nowhere")
+	f.RestoreSite("nowhere")
+	f.RestoreSite("s01") // restoring an up site is a no-op
+	if f.SiteDown("nowhere") || f.SiteDown("s01") {
+		t.Error("phantom outage recorded")
+	}
+}

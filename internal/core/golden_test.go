@@ -1,0 +1,51 @@
+package core
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The Figure 2 protocol trace is part of the repo's contract: its rendered
+// output for the canonical seed is pinned to a committed golden file, so
+// any drift in the SHARP handshake ordering, naming, or rendering is an
+// explicit, reviewed change. Regenerate with:
+//
+//	go test ./internal/core -run TestFigure2Golden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestFigure2Golden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderFigure2(&buf, 42); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "figure2_golden.txt")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Figure 2 trace drifted from golden file.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// Figure 2 must also render identically across seeds in structure: the
+// paper's arrow order is seed-independent even though key material varies.
+func TestFigure2StepOrderSeedIndependent(t *testing.T) {
+	for _, seed := range []int64{1, 7, 99} {
+		res, err := Figure2(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := ValidateFigure2(res); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}

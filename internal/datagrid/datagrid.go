@@ -240,14 +240,18 @@ func (s *TransferService) Transfer(cred *identity.Credential, src, dst string, b
 			fo.Streams = len(fo.Paths)
 		}
 	}
-	_, err := s.Net.StartFlow(src, dst, bytes, fo, func(f *simnet.Flow) {
+	fl, err := s.Net.StartFlow(src, dst, bytes, fo, func(f *simnet.Flow) {
 		s.TransferN++
 		s.BytesMoved += bytes
 		done(f, nil)
 	})
 	if err != nil {
 		done(nil, err)
+		return
 	}
+	// A flow killed mid-transfer (host death, partition) must surface as a
+	// failed transfer, not a callback that never fires.
+	fl.OnFail = func(f *simnet.Flow, ferr error) { done(f, ferr) }
 }
 
 // FetchBest resolves a logical name through the RLI, picks the replica

@@ -1,0 +1,62 @@
+package datagrid
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// A partition landing mid-transfer must surface as a failed transfer
+// through the done callback — affected stripes fail the flow, the
+// callback fires with ErrPartitioned, and nothing hangs.
+func TestTransferFailsOnMidFlightPartition(t *testing.T) {
+	f := newFixture(t)
+	var gotErr error
+	called := false
+	f.svc.Transfer(f.alice, "src", "dst", 10e6, TransferOpts{Streams: 4}, func(_ *simnet.Flow, err error) {
+		called = true
+		gotErr = err
+	})
+	f.eng.RunUntil(2 * time.Second)
+	if called {
+		t.Fatal("transfer finished before the partition landed")
+	}
+	f.net.Partition("A", "B", true)
+	f.eng.Run()
+	if !called {
+		t.Fatal("done callback never fired — transfer hung across the partition")
+	}
+	if !errors.Is(gotErr, simnet.ErrPartitioned) {
+		t.Errorf("err = %v, want ErrPartitioned", gotErr)
+	}
+	if f.svc.TransferN != 0 {
+		t.Errorf("failed transfer counted as completed (TransferN = %d)", f.svc.TransferN)
+	}
+}
+
+// The multipath (pooled) variant survives a partial cut: the relay path
+// carries the stranded bytes and the transfer completes.
+func TestMultipathTransferSurvivesPartialCut(t *testing.T) {
+	f := newFixture(t)
+	var gotErr error
+	called := false
+	f.svc.Transfer(f.alice, "src", "dst", 4e6, TransferOpts{Streams: 2, Relays: []string{"relay"}},
+		func(_ *simnet.Flow, err error) {
+			called = true
+			gotErr = err
+		})
+	f.eng.RunUntil(time.Second)
+	f.net.Partition("A", "B", true) // direct path only; A-R-B survives
+	f.eng.Run()
+	if !called {
+		t.Fatal("transfer hung")
+	}
+	if gotErr != nil {
+		t.Fatalf("multipath transfer failed: %v", gotErr)
+	}
+	if f.svc.TransferN != 1 {
+		t.Errorf("TransferN = %d", f.svc.TransferN)
+	}
+}

@@ -1,0 +1,92 @@
+package faultlab
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Injector binds a schedule to a running federation. Every fault becomes
+// a sim.Window, so each is applied and revoked exactly once no matter how
+// the run ends (naturally, or force-healed by HealAll).
+type Injector struct {
+	fed     *core.Federation
+	sched   *Schedule
+	windows []*sim.Window
+	trace   []string
+
+	// AppliedN and RevokedN count fault activations for reporting.
+	AppliedN, RevokedN int
+}
+
+// Install schedules every fault of sched against the federation and
+// returns the injector handle. Faults targeting unjoined or unknown sites
+// degrade to no-ops inside core's fault surface.
+func Install(f *core.Federation, sched *Schedule) *Injector {
+	inj := &Injector{fed: f, sched: sched}
+	for i := range sched.Faults {
+		ft := sched.Faults[i]
+		apply, revoke := inj.actions(ft)
+		w := f.Eng.NewWindow(ft.At, ft.Duration,
+			func() {
+				inj.AppliedN++
+				inj.trace = append(inj.trace, fmt.Sprintf("t=%v apply %s", f.Eng.Now(), ft))
+				apply()
+			},
+			func() {
+				inj.RevokedN++
+				inj.trace = append(inj.trace, fmt.Sprintf("t=%v revoke %s", f.Eng.Now(), ft))
+				revoke()
+			})
+		inj.windows = append(inj.windows, w)
+	}
+	return inj
+}
+
+// actions maps a fault to its apply/revoke pair.
+func (inj *Injector) actions(ft Fault) (apply, revoke func()) {
+	f := inj.fed
+	switch ft.Kind {
+	case NodeCrash:
+		return func() { f.CrashNode(ft.Site) }, func() { f.RestoreSite(ft.Site) }
+	case SiteOutage:
+		return func() { f.CrashSite(ft.Site) }, func() { f.RestoreSite(ft.Site) }
+	case NetPartition:
+		return func() { f.Net.Partition(ft.Site, ft.Peer, true) },
+			func() { f.Net.Partition(ft.Site, ft.Peer, false) }
+	case LossBurst:
+		return func() { f.Net.SetLoss(ft.Site, ft.Peer, ft.Loss) },
+			func() { f.Net.ClearLoss(ft.Site, ft.Peer) }
+	case LatencyChurn:
+		return func() { f.Net.SetLatency(ft.Site, ft.Peer, ft.Latency) },
+			func() { f.Net.ClearLatency(ft.Site, ft.Peer) }
+	case ClockSkew:
+		skew := func(d time.Duration) {
+			s := f.SiteByName(ft.Site)
+			if s == nil || s.Runtime == nil {
+				return
+			}
+			s.Runtime.Authority.SetClockSkew(d)
+		}
+		return func() { skew(ft.Skew) }, func() { skew(0) }
+	}
+	panic(fmt.Sprintf("faultlab: unknown fault kind %v", ft.Kind))
+}
+
+// HealAll force-revokes every window: active faults are lifted now,
+// not-yet-applied faults are cancelled. Used at horizon end so the
+// convergence phase starts from a fully healed substrate.
+func (inj *Injector) HealAll() {
+	for _, w := range inj.windows {
+		w.Revoke()
+	}
+}
+
+// Trace returns the apply/revoke log in execution order.
+func (inj *Injector) Trace() []string {
+	out := make([]string, len(inj.trace))
+	copy(out, inj.trace)
+	return out
+}

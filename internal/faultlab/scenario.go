@@ -1,0 +1,310 @@
+package faultlab
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gram"
+	"repro/internal/identity"
+	"repro/internal/metrics"
+	"repro/internal/servicemgr"
+)
+
+// ChaosConfig shapes the chaos scenario: a hybrid federation running a
+// managed service and a steady GRAM job stream while faults land.
+type ChaosConfig struct {
+	// Sites is the number of (identical, fully ceding) member sites.
+	Sites int
+	// Target is the managed service's desired points of presence.
+	Target int
+	// CPUPerSite is the service's per-PoP resource ask.
+	CPUPerSite float64
+	// Horizon is how long faults may land; Converge is the healed settling
+	// time before the final audit.
+	Horizon  time.Duration
+	Converge time.Duration
+	// Refresh is the MDS soft-state period (TTL is 2×Refresh).
+	Refresh time.Duration
+	// JobEvery paces the background GRAM submission stream.
+	JobEvery time.Duration
+	// AuditEvery paces mid-run invariant audits.
+	AuditEvery time.Duration
+}
+
+// DefaultChaosConfig returns the scenario gridlab chaos runs.
+func DefaultChaosConfig() ChaosConfig {
+	return ChaosConfig{
+		Sites:      6,
+		Target:     3,
+		CPUPerSite: 0.5,
+		Horizon:    8 * time.Hour,
+		Converge:   30 * time.Minute,
+		Refresh:    2 * time.Minute,
+		JobEvery:   10 * time.Minute,
+		AuditEvery: 5 * time.Minute,
+	}
+}
+
+// SiteNames returns the scenario's member site names.
+func (cfg ChaosConfig) SiteNames() []string {
+	names := make([]string, cfg.Sites)
+	for i := range names {
+		names[i] = fmt.Sprintf("s%02d", i)
+	}
+	return names
+}
+
+// Report is the outcome of one chaos run.
+type Report struct {
+	Seed     int64
+	Profile  string
+	Schedule *Schedule
+	// Trace is the injector's apply/revoke log.
+	Trace []string
+	// Violations holds every invariant breach, mid-run and final, deduped.
+	Violations []Violation
+	// Summary is a metrics table of the run's outcome. It deliberately
+	// excludes seed and profile so a quiet-profile run and a no-injector
+	// baseline with the same seed render byte-identical summaries.
+	Summary string
+}
+
+// OK reports whether every invariant held.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// Repro returns the command line that reproduces this exact run.
+func (r *Report) Repro() string {
+	return fmt.Sprintf("gridlab chaos -seed %d -profile %s", r.Seed, r.Profile)
+}
+
+// RunChaos generates the (seed, profile) schedule, runs the scenario under
+// it, and audits the invariants. Identical inputs yield identical reports.
+func RunChaos(seed int64, p Profile, cfg ChaosConfig) *Report {
+	sched := Generate(seed, p, cfg.SiteNames(), cfg.Horizon)
+	return run(seed, sched, cfg)
+}
+
+// RunBaseline runs the scenario with no injector installed at all — the
+// reference for the metamorphic "quiet schedule changes nothing" test.
+func RunBaseline(seed int64, cfg ChaosConfig) *Report {
+	return run(seed, nil, cfg)
+}
+
+func run(seed int64, sched *Schedule, cfg ChaosConfig) *Report {
+	names := cfg.SiteNames()
+	specs := make([]core.SiteSpec, cfg.Sites)
+	for i, name := range names {
+		specs[i] = core.SiteSpec{
+			Name: name,
+			X:    12 * float64(i+1), Y: float64((i * 17) % 50),
+			Nodes: 2, ClusterSlots: 8,
+			Policy: core.PlanetLabSitePolicy(),
+		}
+	}
+	f := core.Build(core.StackHybrid, core.Config{Seed: seed, RefreshInterval: cfg.Refresh}, specs)
+	end := cfg.Horizon + cfg.Converge
+
+	// Ticket stock for the service manager, valid past the audit.
+	for _, s := range f.JoinedSites() {
+		if s.Runtime != nil {
+			s.Runtime.Authority.OversellFactor = 1e6
+		}
+	}
+	if err := f.Deployer.Stock(200, 0, end+time.Hour, names...); err != nil {
+		panic(fmt.Sprintf("faultlab: stocking deployer: %v", err))
+	}
+	sm := identity.NewPrincipal("chaos-sm", f.Rng)
+	mgr := servicemgr.New(f.Eng, f.Deployer, sm, servicemgr.Config{
+		Name:       "chaos-svc",
+		Target:     cfg.Target,
+		CPUPerSite: cfg.CPUPerSite,
+		Candidates: names,
+		Lease:      end + time.Hour,
+	})
+	if err := mgr.Start(); err != nil {
+		panic(fmt.Sprintf("faultlab: starting service: %v", err))
+	}
+	// Declared outages drive the management plane; silent crashes must be
+	// survived through soft state alone.
+	f.AddFaultObserver(func(site string, down bool) {
+		if down {
+			mgr.SiteFailed(site)
+		} else {
+			mgr.SiteRecovered(site)
+			mgr.Reconcile()
+		}
+	})
+
+	// Background GRAM load: a probe job every JobEvery, round-robin over
+	// the member gatekeepers, submitted from the VO broker host.
+	user := f.User("chaos-user")
+	proxy, err := user.Delegate("chaos-user/p", f.Eng.Now(), end+time.Hour, nil, f.Rng)
+	if err != nil {
+		panic(fmt.Sprintf("faultlab: delegating proxy: %v", err))
+	}
+	jobRng := rand.New(rand.NewSource(seed + 1))
+	gkSites := f.JoinedSites()
+	var submitted, accepted, refused int
+	next := 0
+	jobTicker := f.Eng.NewTicker(cfg.JobEvery, func() {
+		s := gkSites[next%len(gkSites)]
+		next++
+		submitted++
+		req := gram.SubmitRequest{
+			Cred: proxy,
+			Spec: gram.JobSpec{
+				RSL:       "&(executable=probe)(count=1)(maxWallTime=1800)",
+				ActualRun: time.Duration(1+jobRng.Intn(8)) * time.Minute,
+			},
+		}
+		gram.Submit(f.Net, "vo-broker", s.Host, req, 30*time.Second, func(_ gram.SubmitReply, err error) {
+			if err != nil {
+				refused++
+				return
+			}
+			accepted++
+		})
+	})
+
+	var inj *Injector
+	if sched != nil {
+		inj = Install(f, sched)
+	}
+
+	// Mid-run audits: structural invariants only (service strength is a
+	// convergence property, judged after heal + settle).
+	ttlBound := 2*cfg.Refresh + time.Second
+	seen := make(map[string]struct{})
+	var violations []Violation
+	record := func(vs []Violation) {
+		for _, v := range vs {
+			key := v.String()
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			violations = append(violations, v)
+		}
+	}
+	auditTicker := f.Eng.NewTicker(cfg.AuditEvery, func() {
+		record(CheckFederation(f, CheckOpts{TTLBound: ttlBound}))
+	})
+
+	f.Eng.RunUntil(cfg.Horizon)
+	if inj != nil {
+		inj.HealAll()
+	}
+	mgr.Reconcile()
+	f.Eng.RunUntil(end)
+	jobTicker.Stop()
+	auditTicker.Stop()
+
+	feasible := 0
+	for _, name := range names {
+		if !f.SiteDown(name) && f.Deployer.Inventory(name) >= cfg.CPUPerSite {
+			feasible++
+		}
+	}
+	record(CheckFederation(f, CheckOpts{
+		Managers:      []*servicemgr.Manager{mgr},
+		FeasibleSites: feasible,
+		TTLBound:      ttlBound,
+	}))
+
+	var done, failed int
+	for _, s := range f.JoinedSites() {
+		if s.Gatekeeper == nil {
+			continue
+		}
+		for _, j := range s.Gatekeeper.Jobs() {
+			switch j.State() {
+			case gram.Done:
+				done++
+			case gram.Failed:
+				failed++
+			}
+		}
+	}
+
+	applied, revoked := 0, 0
+	var trace []string
+	if inj != nil {
+		applied, revoked = inj.AppliedN, inj.RevokedN
+		trace = inj.Trace()
+	}
+	tbl := metrics.NewTable("metric", "value")
+	tbl.AddRow("sites joined", len(f.JoinedSites()))
+	tbl.AddRow("jobs submitted", submitted)
+	tbl.AddRow("jobs accepted", accepted)
+	tbl.AddRow("jobs refused", refused)
+	tbl.AddRow("jobs done", done)
+	tbl.AddRow("jobs failed", failed)
+	tbl.AddRow("service running", mgr.Running())
+	tbl.AddRow("service target", mgr.Target())
+	tbl.AddRow("service redeploys", mgr.RedeployN)
+	tbl.AddRow("service degraded", mgr.DegradedTime.String())
+	tbl.AddRow("faults applied", applied)
+	tbl.AddRow("faults revoked", revoked)
+	tbl.AddRow("violations", len(violations))
+
+	rep := &Report{
+		Seed:       seed,
+		Schedule:   sched,
+		Trace:      trace,
+		Violations: violations,
+		Summary:    tbl.String(),
+	}
+	if sched != nil {
+		rep.Profile = sched.Profile
+	}
+	return rep
+}
+
+// SweepResult aggregates a seed × profile sweep.
+type SweepResult struct {
+	// Runs is the number of chaos runs executed.
+	Runs int
+	// ViolationN is the total violation count across all runs.
+	ViolationN int
+	// First is the first violating report in sweep order (nil when clean):
+	// its Repro() line is the minimal reproduction of the failure.
+	First *Report
+}
+
+// OK reports a clean sweep.
+func (r *SweepResult) OK() bool { return r.First == nil }
+
+// String summarizes the sweep for CLI output.
+func (r *SweepResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sweep: %d runs, %d violations\n", r.Runs, r.ViolationN)
+	if r.First != nil {
+		fmt.Fprintf(&b, "first failure: seed=%d profile=%s\n", r.First.Seed, r.First.Profile)
+		for _, v := range r.First.Violations {
+			fmt.Fprintf(&b, "  %s\n", v)
+		}
+		fmt.Fprintf(&b, "repro: %s\n", r.First.Repro())
+	}
+	return b.String()
+}
+
+// Sweep runs the chaos scenario over seeds startSeed..startSeed+seeds-1
+// for every profile, reporting the first violating (seed, profile) as a
+// minimal repro. Runs are independent, so sweep order is just seed-major.
+func Sweep(startSeed int64, seeds int, profiles []Profile, cfg ChaosConfig) *SweepResult {
+	res := &SweepResult{}
+	for s := int64(0); s < int64(seeds); s++ {
+		for _, p := range profiles {
+			rep := RunChaos(startSeed+s, p, cfg)
+			res.Runs++
+			res.ViolationN += len(rep.Violations)
+			if !rep.OK() && res.First == nil {
+				res.First = rep
+			}
+		}
+	}
+	return res
+}

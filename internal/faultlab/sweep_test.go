@@ -1,0 +1,24 @@
+package faultlab
+
+import (
+	"testing"
+	"time"
+)
+
+// The acceptance sweep: 50 seeds × all 3 built-in profiles, every
+// invariant holding on every run. A failure here prints the minimal
+// (seed, profile) repro.
+func TestSweepFiftySeedsAllProfiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is the long acceptance test")
+	}
+	cfg := DefaultChaosConfig()
+	cfg.Horizon = 4 * time.Hour // full severity, shorter soak per run
+	res := Sweep(1, 50, Profiles(), cfg)
+	if res.Runs != 150 {
+		t.Fatalf("Runs = %d, want 150", res.Runs)
+	}
+	if !res.OK() {
+		t.Fatalf("sweep found violations:\n%s", res)
+	}
+}

@@ -31,6 +31,8 @@ type BatchManager struct {
 
 	// Counters for experiment accounting.
 	CompletedN, BackfilledN, WallKillN int
+	// CrashN counts node crashes injected via Crash.
+	CrashN int
 }
 
 // commitment is a slot claim over a time interval.
@@ -274,6 +276,37 @@ func (m *BatchManager) finish(j *Job, to JobState, reason error) {
 	}
 	j.transition(to)
 	m.kick()
+}
+
+// Crash models the cluster's head node dying: every queued and running
+// job fails immediately — nothing survives a node crash, which is exactly
+// the invariant fault checkers hold GRAM to (no job may report done on a
+// crashed node) — and unclaimed reservations are lost. The manager itself
+// stays usable for submissions once the site recovers; completion events
+// already scheduled for crashed jobs become no-ops.
+func (m *BatchManager) Crash(reason error) {
+	m.CrashN++
+	now := m.eng.Now()
+	queued := m.queue
+	m.queue = nil
+	for _, j := range queued {
+		j.Ended = now
+		j.FailReason = reason
+		j.transition(Failed)
+	}
+	running := make([]*Job, 0, len(m.running))
+	for j := range m.running {
+		running = append(running, j)
+	}
+	sort.Slice(running, func(i, j int) bool { return running[i].ID < running[j].ID })
+	for _, j := range running {
+		delete(m.running, j)
+		j.Ended = now
+		j.FailReason = reason
+		j.transition(Failed)
+	}
+	m.reservations = make(map[string]*Reservation)
+	m.timer.Stop()
 }
 
 // Cancel implements Manager.

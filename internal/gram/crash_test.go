@@ -1,0 +1,85 @@
+package gram
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestCrashFailsQueuedAndRunningJobs(t *testing.T) {
+	eng := sim.NewEngine(1)
+	m := NewBatchManager(eng, "batch", 4)
+	running := mkJob(t, "j1", `&(executable=a)(count=4)(maxWallTime=100)`, 80*time.Second)
+	queued := mkJob(t, "j2", `&(executable=b)(count=4)(maxWallTime=100)`, 30*time.Second)
+	if err := m.Submit(running); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Submit(queued); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(10 * time.Second)
+
+	boom := errors.New("head node died")
+	m.Crash(boom)
+	if running.State() != Failed || queued.State() != Failed {
+		t.Fatalf("states after crash: %v %v", running.State(), queued.State())
+	}
+	if !errors.Is(running.FailReason, boom) || !errors.Is(queued.FailReason, boom) {
+		t.Errorf("fail reasons: %v / %v", running.FailReason, queued.FailReason)
+	}
+	if running.Ended != 10*time.Second {
+		t.Errorf("running job ended at %v", running.Ended)
+	}
+	if m.QueueLen() != 0 || m.RunningN() != 0 {
+		t.Errorf("queue=%d running=%d after crash", m.QueueLen(), m.RunningN())
+	}
+	if m.CrashN != 1 {
+		t.Errorf("CrashN = %d", m.CrashN)
+	}
+
+	// The stale completion event for the crashed running job is a no-op.
+	eng.Run()
+	if running.State() != Failed {
+		t.Errorf("crashed job resurrected to %v", running.State())
+	}
+}
+
+func TestCrashDropsReservationsButManagerRecovers(t *testing.T) {
+	eng := sim.NewEngine(1)
+	m := NewBatchManager(eng, "batch", 4)
+	id, err := m.Reserve(100*time.Second, 50*time.Second, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Crash(errors.New("power cut"))
+	if err := m.CancelReservation(id); !errors.Is(err, ErrNoReservation) {
+		t.Errorf("reservation survived crash: %v", err)
+	}
+	// The site comes back: new submissions run normally.
+	j := mkJob(t, "j3", `&(executable=c)(count=1)(maxWallTime=60)`, 20*time.Second)
+	if err := m.Submit(j); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if j.State() != Done {
+		t.Errorf("post-recovery job = %v", j.State())
+	}
+}
+
+func TestGatekeeperJobsSorted(t *testing.T) {
+	// Jobs() must return a deterministic, ID-sorted view regardless of map
+	// order. Build a bare gatekeeper-shaped job set via a BatchManager and
+	// check ordering through the exported accessor on a live gatekeeper in
+	// core's tests; here, verify sorting over a hand-built jobs map.
+	g := &Gatekeeper{jobs: map[string]*Job{
+		"gk/3": {ID: "gk/3"},
+		"gk/1": {ID: "gk/1"},
+		"gk/2": {ID: "gk/2"},
+	}}
+	got := g.Jobs()
+	if len(got) != 3 || got[0].ID != "gk/1" || got[1].ID != "gk/2" || got[2].ID != "gk/3" {
+		t.Errorf("Jobs() order = %v", []string{got[0].ID, got[1].ID, got[2].ID})
+	}
+}

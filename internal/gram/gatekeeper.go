@@ -2,6 +2,7 @@ package gram
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/gsi"
@@ -107,6 +108,17 @@ func (g *Gatekeeper) AddManager(name string, m Manager) {
 
 // Job returns a job by ID (local API, used in tests and by managers).
 func (g *Gatekeeper) Job(id string) *Job { return g.jobs[id] }
+
+// Jobs returns every job this gatekeeper has accepted, sorted by ID so
+// audits over the job set are deterministic.
+func (g *Gatekeeper) Jobs() []*Job {
+	out := make([]*Job, 0, len(g.jobs))
+	for _, j := range g.jobs {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
 
 // UsageByOwner aggregates charged core-seconds per authenticated grid
 // subject — the site-side accounting record that motivates identity

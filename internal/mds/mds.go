@@ -42,6 +42,9 @@ type Record struct {
 	Attrs map[string]string
 	// Stamp is when the snapshot was taken at the source.
 	Stamp time.Duration
+	// Source is the host whose GRIS produced the snapshot, so audits can
+	// relate served records back to node liveness.
+	Source string
 }
 
 // Registration is the wire form GRIS pushes to GIIS.
@@ -148,7 +151,7 @@ func (g *GRIS) AddProvider(name string, p Provider) {
 func (g *GRIS) Snapshot() []Record {
 	out := make([]Record, 0, len(g.order))
 	for _, name := range g.order {
-		out = append(out, Record{Name: name, Attrs: g.providers[name](), Stamp: g.eng.Now()})
+		out = append(out, Record{Name: name, Attrs: g.providers[name](), Stamp: g.eng.Now(), Source: g.host})
 	}
 	return out
 }

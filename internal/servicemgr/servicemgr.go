@@ -103,6 +103,9 @@ func (m *Manager) tryDeploy(site string) bool {
 	return true
 }
 
+// Target returns the configured desired strength.
+func (m *Manager) Target() int { return m.cfg.Target }
+
 // Running returns the current number of live points of presence.
 func (m *Manager) Running() int {
 	n := 0
@@ -163,6 +166,9 @@ func (m *Manager) SiteFailed(site string) (string, error) {
 		if cand == site {
 			continue
 		}
+		if _, isDown := m.downAt[cand]; isDown {
+			continue
+		}
 		if m.dep.Inventory(cand) < m.cfg.CPUPerSite {
 			continue
 		}
@@ -178,6 +184,43 @@ func (m *Manager) SiteFailed(site string) (string, error) {
 // SiteRecovered clears a site's failure mark so it can be reused.
 func (m *Manager) SiteRecovered(site string) {
 	delete(m.downAt, site)
+}
+
+// Reconcile is the repair pass fault recovery hooks call after sites come
+// back: dead slices are pruned and spare candidates (not active, not
+// marked down, with stock) are deployed until the service is back at
+// Target strength. It returns the number of new deployments.
+func (m *Manager) Reconcile() int {
+	if !m.started {
+		return 0
+	}
+	for _, site := range m.ActiveSites() {
+		if m.active[site].Running() == 0 {
+			m.active[site].StopAll()
+			delete(m.active, site)
+		}
+	}
+	n := 0
+	for _, cand := range m.cfg.Candidates {
+		if m.Running() >= m.cfg.Target {
+			break
+		}
+		if _, isActive := m.active[cand]; isActive {
+			continue
+		}
+		if _, isDown := m.downAt[cand]; isDown {
+			continue
+		}
+		if m.dep.Inventory(cand) < m.cfg.CPUPerSite {
+			continue
+		}
+		if m.tryDeploy(cand) {
+			m.RedeployN++
+			n++
+		}
+	}
+	m.accountStrength()
+	return n
 }
 
 // Stop tears the whole service down, closing the degraded-time books.

@@ -227,9 +227,24 @@ type Authority struct {
 	redeemed map[[32]byte]bool
 	serial   uint64
 	leaseSeq int
+	skew     time.Duration
+	records  []*LeaseRecord
+	recordOf map[string]*LeaseRecord // lease ID -> record
 
 	// IssuedN, RedeemOK, RedeemConflict count outcomes for E9.
 	IssuedN, RedeemOK, RedeemConflict int
+}
+
+// LeaseRecord is the authority-side audit entry for one granted lease: the
+// lease plus the ticket terms it was redeemed under. Invariant checkers
+// use it to prove no lease ever outlives its ticket's term.
+type LeaseRecord struct {
+	Lease         *Lease
+	LeafNotBefore time.Duration
+	LeafNotAfter  time.Duration
+	RootNotAfter  time.Duration
+	RedeemedAt    time.Duration
+	Released      bool
 }
 
 // NewAuthority creates a site authority over the given capacity. The
@@ -249,11 +264,30 @@ func NewAuthority(eng *sim.Engine, site string, signer *identity.Principal, nm *
 		capacity:       capCopy,
 		issued:         make(map[capability.ResourceType]float64),
 		redeemed:       make(map[[32]byte]bool),
+		recordOf:       make(map[string]*LeaseRecord),
 	}
 }
 
 // Key returns the authority's public key (peers pin this).
 func (a *Authority) Key() ed25519.PublicKey { return a.signer.Public() }
+
+// SetClockSkew skews the authority's validity clock: Redeem verifies
+// tickets at Now()+d instead of Now(). Fault injection uses it to model a
+// site whose certificate clock has drifted — tickets reject as expired
+// (positive skew) or not yet valid (negative skew) while the drift lasts.
+func (a *Authority) SetClockSkew(d time.Duration) { a.skew = d }
+
+// ClockSkew returns the current verification-clock drift.
+func (a *Authority) ClockSkew() time.Duration { return a.skew }
+
+// LeaseRecords returns a copy of the lease audit log, in grant order.
+func (a *Authority) LeaseRecords() []LeaseRecord {
+	out := make([]LeaseRecord, len(a.records))
+	for i, r := range a.records {
+		out[i] = *r
+	}
+	return out
+}
 
 // IssueTicket mints a root ticket for a holder, bounded by the oversell
 // budget: sum of issued soft claims <= capacity × OversellFactor.
@@ -288,7 +322,7 @@ func (a *Authority) IssueTicket(holderName string, holderKey ed25519.PublicKey, 
 // spends, then try to commit hard capacity at the node manager. Failure
 // to commit is the oversubscription conflict of Figure 2's step 5-6.
 func (a *Authority) Redeem(t *Ticket) (*Lease, error) {
-	now := a.eng.Now()
+	now := a.eng.Now() + a.skew
 	if t.Root() != nil && t.Root().Site != a.Site {
 		return nil, ErrWrongSite
 	}
@@ -314,7 +348,7 @@ func (a *Authority) Redeem(t *Ticket) (*Lease, error) {
 	a.redeemed[h] = true
 	a.leaseSeq++
 	a.RedeemOK++
-	return &Lease{
+	lease := &Lease{
 		ID:        fmt.Sprintf("%s/lease%d", a.Site, a.leaseSeq),
 		Site:      a.Site,
 		Type:      leaf.Type,
@@ -322,12 +356,25 @@ func (a *Authority) Redeem(t *Ticket) (*Lease, error) {
 		NotBefore: leaf.NotBefore,
 		NotAfter:  leaf.NotAfter,
 		CapID:     cap_.ID,
-	}, nil
+	}
+	rec := &LeaseRecord{
+		Lease:         lease,
+		LeafNotBefore: leaf.NotBefore,
+		LeafNotAfter:  leaf.NotAfter,
+		RootNotAfter:  t.Root().NotAfter,
+		RedeemedAt:    a.eng.Now(),
+	}
+	a.records = append(a.records, rec)
+	a.recordOf[lease.ID] = rec
+	return lease, nil
 }
 
 // ReleaseLease returns a lease's resources (service teardown).
 func (a *Authority) ReleaseLease(l *Lease) {
 	a.nm.Release(l.CapID)
+	if rec, ok := a.recordOf[l.ID]; ok {
+		rec.Released = true
+	}
 }
 
 // Agent is a SHARP broker: it accumulates tickets from site authorities

@@ -19,6 +19,7 @@ package silk
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/sim"
@@ -346,8 +347,37 @@ func (c *Context) NetRateBps() float64 {
 // Contexts returns the number of live contexts on the node.
 func (n *Node) Contexts() int { return len(n.contexts) }
 
+// ContextList returns the live contexts sorted by name, for deterministic
+// audits of the node's enforcement state.
+func (n *Node) ContextList() []*Context {
+	out := make([]*Context, 0, len(n.contexts))
+	for c := range n.contexts {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // PortsInUse returns the number of bound ports on the node.
 func (n *Node) PortsInUse() int { return len(n.ports) }
+
+// PortBindings returns the node's port table as port -> owning context
+// name (the kernel-side view invariant checkers cross-examine against the
+// per-context port lists).
+func (n *Node) PortBindings() map[int]string {
+	out := make(map[int]string, len(n.ports))
+	for p, c := range n.ports {
+		out[p] = c.Name
+	}
+	return out
+}
+
+// Ports returns a copy of the ports the context currently holds.
+func (c *Context) Ports() []int {
+	out := make([]int, len(c.ports))
+	copy(out, c.ports)
+	return out
+}
 
 // TokenBucket is a classic token bucket in virtual time.
 type TokenBucket struct {

@@ -229,6 +229,60 @@ func (t *Timer) Stop() {
 	}
 }
 
+// Window is a scheduled apply/revoke pair: apply fires at a start time,
+// revoke fires after a duration. It is the primitive fault injectors use
+// to guarantee every injected fault is revoked exactly once — either by
+// the scheduled revocation or by an early forced Revoke, never both.
+type Window struct {
+	eng      *Engine
+	applyEv  *Event
+	revokeEv *Event
+	revokeFn func()
+	applied  bool
+	revoked  bool
+}
+
+// NewWindow schedules apply at absolute virtual time start and revoke at
+// start+dur. Both callbacks are required; dur must be non-negative.
+func (e *Engine) NewWindow(start, dur time.Duration, apply, revoke func()) *Window {
+	if apply == nil || revoke == nil {
+		panic("sim: nil window function")
+	}
+	if dur < 0 {
+		panic(fmt.Sprintf("sim: negative window duration %v", dur))
+	}
+	w := &Window{eng: e, revokeFn: revoke}
+	w.applyEv = e.At(start, func() {
+		w.applied = true
+		apply()
+		w.revokeEv = e.Schedule(dur, func() {
+			w.revoked = true
+			revoke()
+		})
+	})
+	return w
+}
+
+// Active reports whether the window has applied but not yet revoked.
+func (w *Window) Active() bool { return w.applied && !w.revoked }
+
+// Revoke ends the window now: a pending apply is cancelled without ever
+// firing; an active window's revoke callback runs immediately and its
+// scheduled revocation is cancelled. Idempotent.
+func (w *Window) Revoke() {
+	if w.revoked {
+		return
+	}
+	if !w.applied {
+		w.revoked = true
+		w.eng.Cancel(w.applyEv)
+		return
+	}
+	w.revoked = true
+	w.eng.Cancel(w.revokeEv)
+	w.revokeFn()
+}
+
 // Ticker invokes fn every period until stopped.
 type Ticker struct {
 	eng     *Engine

@@ -40,6 +40,8 @@ type Flow struct {
 	opts      FlowOpts
 	streams   map[*sim.FluidConsumer][]*sim.FluidResource // consumer -> its path resources
 	pathOf    map[*sim.FluidConsumer]pathInfo
+	order     []*sim.FluidConsumer // live streams in creation order (determinism)
+	seq       uint64               // creation sequence within the network
 	active    int
 	begun     time.Duration
 	ended     time.Duration
@@ -52,6 +54,18 @@ type Flow struct {
 type pathInfo struct {
 	resources []*sim.FluidResource
 	limit     float64
+	// crossings are the (sorted) site pairs the path's hops traverse, so a
+	// partition can identify exactly the streams it severs.
+	crossings [][2]string
+}
+
+func (pi pathInfo) crosses(key [2]string) bool {
+	for _, c := range pi.crossings {
+		if c == key {
+			return true
+		}
+	}
+	return false
 }
 
 // StartFlow begins transferring bytes from one host to another and returns
@@ -89,11 +103,13 @@ func (n *Network) StartFlow(from, to string, bytes float64, opts FlowOpts, onDon
 		paths = append(paths, pi)
 	}
 
+	n.flowSeq++
 	f := &Flow{
 		net:     n,
 		From:    from,
 		To:      to,
 		Bytes:   bytes,
+		seq:     n.flowSeq,
 		opts:    opts,
 		streams: make(map[*sim.FluidConsumer][]*sim.FluidResource),
 		pathOf:  make(map[*sim.FluidConsumer]pathInfo),
@@ -135,12 +151,16 @@ func (n *Network) resolvePath(src, dst *Host, relays []string) (pathInfo, error)
 	hops = append(hops, dst)
 
 	var resources []*sim.FluidResource
+	var crossings [][2]string
 	var rtt time.Duration
 	survive := 1.0
 	for i := 0; i+1 < len(hops); i++ {
 		a, b := hops[i], hops[i+1]
 		if n.Partitioned(a.Site, b.Site) {
 			return pathInfo{}, fmt.Errorf("%w: %s-%s", ErrPartitioned, a.Site, b.Site)
+		}
+		if a.Site != b.Site {
+			crossings = append(crossings, pairKey(a.Site, b.Site))
 		}
 		rtt += 2 * n.Latency(a.Site, b.Site)
 		survive *= 1 - n.Loss(a.Site, b.Site)
@@ -167,7 +187,7 @@ func (n *Network) resolvePath(src, dst *Host, relays []string) (pathInfo, error)
 		// Mathis et al.: BW = MSS / (RTT * sqrt(2p/3)).
 		limit = n.MTU / (rtt.Seconds() * math.Sqrt(2*loss/3))
 	}
-	return pathInfo{resources: uniq, limit: limit}, nil
+	return pathInfo{resources: uniq, limit: limit, crossings: crossings}, nil
 }
 
 func (f *Flow) addStream(pi pathInfo, bytes float64) {
@@ -182,13 +202,25 @@ func (f *Flow) addStream(pi pathInfo, bytes float64) {
 	f.net.flows.Add(c, bytes, pi.resources...)
 	f.streams[c] = pi.resources
 	f.pathOf[c] = pi
+	f.order = append(f.order, c)
+}
+
+// drop removes a stream from the flow's books (not from the fluid system).
+func (f *Flow) drop(c *sim.FluidConsumer) {
+	delete(f.streams, c)
+	delete(f.pathOf, c)
+	for i, s := range f.order {
+		if s == c {
+			f.order = append(f.order[:i], f.order[i+1:]...)
+			break
+		}
+	}
+	f.active--
 }
 
 func (f *Flow) streamDone(c *sim.FluidConsumer) {
-	delete(f.streams, c)
 	donePath := f.pathOf[c]
-	delete(f.pathOf, c)
-	f.active--
+	f.drop(c)
 	if f.aborted {
 		return
 	}
@@ -196,7 +228,7 @@ func (f *Flow) streamDone(c *sim.FluidConsumer) {
 		// Steal half of the largest backlog onto the just-freed path.
 		var victim *sim.FluidConsumer
 		var max float64
-		for s := range f.streams {
+		for _, s := range f.order {
 			if r := s.Remaining(); r > max {
 				max, victim = r, s
 			}
@@ -205,9 +237,7 @@ func (f *Flow) streamDone(c *sim.FluidConsumer) {
 		if victim != nil && max > f.net.MTU {
 			vicPath := f.pathOf[victim]
 			f.net.flows.Remove(victim)
-			delete(f.streams, victim)
-			delete(f.pathOf, victim)
-			f.active--
+			f.drop(victim)
 			f.addStream(vicPath, max/2)
 			f.addStream(donePath, max/2)
 			return
@@ -221,6 +251,36 @@ func (f *Flow) streamDone(c *sim.FluidConsumer) {
 			f.OnDone(f)
 		}
 	}
+}
+
+// partitionCut severs every stream whose path crosses the cut site pair.
+// Static (non-pooled) striping has no reassembly protocol, so losing any
+// stripe fails the whole transfer; a pooled flow restripes the severed
+// backlog onto its first surviving path and fails only when fully cut.
+func (f *Flow) partitionCut(key [2]string) {
+	if f.done || f.aborted {
+		return
+	}
+	var severed []*sim.FluidConsumer
+	for _, c := range f.order {
+		if f.pathOf[c].crosses(key) {
+			severed = append(severed, c)
+		}
+	}
+	if len(severed) == 0 {
+		return
+	}
+	if len(severed) == f.active || !f.opts.Pooled {
+		f.fail(fmt.Errorf("%w: %s-%s", ErrPartitioned, key[0], key[1]))
+		return
+	}
+	stranded := 0.0
+	for _, c := range severed {
+		stranded += c.Remaining()
+		f.net.flows.Remove(c)
+		f.drop(c)
+	}
+	f.addStream(f.pathOf[f.order[0]], stranded)
 }
 
 // fail kills the flow because a host on its path died.
@@ -241,10 +301,12 @@ func (f *Flow) Abort() {
 	}
 	f.aborted = true
 	delete(f.net.active, f)
-	for c := range f.streams {
+	for _, c := range f.order {
 		f.net.flows.Remove(c)
 	}
 	f.streams = map[*sim.FluidConsumer][]*sim.FluidResource{}
+	f.pathOf = map[*sim.FluidConsumer]pathInfo{}
+	f.order = nil
 	f.active = 0
 }
 

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"time"
 
 	"repro/internal/sim"
@@ -78,6 +79,7 @@ type Network struct {
 	lossRate    map[[2]string]float64
 	partitioned map[[2]string]bool
 	active      map[*Flow]struct{}
+	flowSeq     uint64
 
 	// BaseLoss is the default packet-loss probability on any inter-site
 	// path (intra-site paths are lossless).
@@ -157,15 +159,23 @@ func (n *Network) SetDown(host string, down bool) {
 	if !down {
 		return
 	}
-	var victims []*Flow
-	for f := range n.active {
-		if f.hosts[host] {
-			victims = append(victims, f)
-		}
-	}
+	victims := n.victims(func(f *Flow) bool { return f.hosts[host] })
 	for _, f := range victims {
 		f.fail(fmt.Errorf("%w: %s", ErrHostDown, host))
 	}
+}
+
+// victims collects active flows matching pred in creation order, so kill
+// callbacks fire in a deterministic sequence regardless of map iteration.
+func (n *Network) victims(pred func(*Flow) bool) []*Flow {
+	var out []*Flow
+	for f := range n.active {
+		if pred(f) {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
 }
 
 func pairKey(a, b string) [2]string {
@@ -181,7 +191,9 @@ func (n *Network) SetLatency(siteA, siteB string, d time.Duration) {
 }
 
 // SetLoss sets the packet-loss probability between two sites, overriding
-// BaseLoss for that pair.
+// BaseLoss for that pair. Flows already in progress keep the Mathis rate
+// limit computed at start; only the control plane and new flows see the
+// change.
 func (n *Network) SetLoss(siteA, siteB string, p float64) {
 	if p < 0 || p >= 1 {
 		panic(fmt.Sprintf("simnet: loss %v out of range [0,1)", p))
@@ -189,9 +201,40 @@ func (n *Network) SetLoss(siteA, siteB string, p float64) {
 	n.lossRate[pairKey(siteA, siteB)] = p
 }
 
+// ClearLoss removes a SetLoss override, restoring BaseLoss for the pair —
+// the revocation half of a loss-burst fault.
+func (n *Network) ClearLoss(siteA, siteB string) {
+	delete(n.lossRate, pairKey(siteA, siteB))
+}
+
+// ClearLatency removes a SetLatency override, restoring the
+// coordinate-derived propagation delay.
+func (n *Network) ClearLatency(siteA, siteB string) {
+	delete(n.latOverride, pairKey(siteA, siteB))
+}
+
 // Partition cuts (or heals, with false) connectivity between two sites.
+// Cutting also severs the in-flight data streams crossing the pair:
+// non-pooled striped flows fail outright (OnFail fires — they must not
+// hang), pooled flows restripe the severed backlog onto a surviving path
+// and fail only when no path survives.
 func (n *Network) Partition(siteA, siteB string, cut bool) {
-	n.partitioned[pairKey(siteA, siteB)] = cut
+	key := pairKey(siteA, siteB)
+	n.partitioned[key] = cut
+	if !cut {
+		return
+	}
+	victims := n.victims(func(f *Flow) bool {
+		for _, c := range f.order {
+			if f.pathOf[c].crosses(key) {
+				return true
+			}
+		}
+		return false
+	})
+	for _, f := range victims {
+		f.partitionCut(key)
+	}
 }
 
 // Latency returns the one-way propagation delay between two sites.
