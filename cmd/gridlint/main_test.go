@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildGridlint compiles the binary once per test run.
+func buildGridlint(t *testing.T, root string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "gridlint")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/gridlint")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/gridlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestGridlintExitCodes asserts the CI contract: exit 0 on the clean
+// repository, exit 1 on the known-bad corpus, exit 2 on usage errors.
+func TestGridlintExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("gridlint smoke test skipped in -short mode")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := buildGridlint(t, root)
+
+	run := func(args ...string) (int, string) {
+		cmd := exec.Command(bin, args...)
+		cmd.Dir = root
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			return 0, string(out)
+		}
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode(), string(out)
+		}
+		t.Fatalf("gridlint %v: %v", args, err)
+		return -1, ""
+	}
+
+	if code, out := run("./..."); code != 0 {
+		t.Errorf("gridlint ./... on clean repo: exit %d, want 0\n%s", code, out)
+	}
+	code, out := run("./internal/lint/testdata/src/...")
+	if code != 1 {
+		t.Errorf("gridlint on known-bad corpus: exit %d, want 1\n%s", code, out)
+	}
+	for _, analyzer := range []string{"walltime", "globalrand", "maporder", "errdrop"} {
+		if !strings.Contains(out, analyzer+":") {
+			t.Errorf("corpus run output missing findings from %s:\n%s", analyzer, out)
+		}
+	}
+	if code, _ := run("-run", "nosuchanalyzer", "./..."); code != 2 {
+		t.Errorf("gridlint -run nosuchanalyzer: exit %d, want 2", code)
+	}
+}
+
+// TestGridlintList keeps the -list inventory in sync with the suite.
+func TestGridlintList(t *testing.T) {
+	if testing.Short() {
+		t.Skip("gridlint smoke test skipped in -short mode")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := buildGridlint(t, root)
+	cmd := exec.Command(bin, "-list")
+	cmd.Dir = root
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("gridlint -list: %v", err)
+	}
+	for _, analyzer := range []string{"walltime", "globalrand", "maporder", "errdrop"} {
+		if !strings.Contains(string(out), analyzer) {
+			t.Errorf("gridlint -list missing %q:\n%s", analyzer, out)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(root, "internal", "lint")); err != nil {
+		t.Fatalf("internal/lint missing: %v", err)
+	}
+}

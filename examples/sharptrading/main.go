@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"math/rand"
 	"os"
@@ -19,8 +20,13 @@ import (
 )
 
 func main() {
-	eng := sim.NewEngine(11)
-	rng := rand.New(rand.NewSource(11))
+	// One explicit seed drives the engine and every principal's key
+	// stream: rerun with the same -seed for a byte-identical economy
+	// (the determinism contract gridlint enforces — no global math/rand).
+	seed := flag.Int64("seed", 11, "deterministic run seed for engine and rand streams")
+	flag.Parse()
+	eng := sim.NewEngine(*seed)
+	rng := rand.New(rand.NewSource(*seed))
 	horizon := 4 * time.Hour
 
 	// Three sites with 8 CPUs each; siteC oversells 2x.

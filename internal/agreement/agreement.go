@@ -17,6 +17,7 @@ package agreement
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/sim"
@@ -200,13 +201,7 @@ func (r *Responder) handleTemplates(string, any) (any, error) {
 	for n := range r.templates {
 		names = append(names, n)
 	}
-	for i := 0; i < len(names); i++ {
-		for j := i + 1; j < len(names); j++ {
-			if names[j] < names[i] {
-				names[i], names[j] = names[j], names[i]
-			}
-		}
-	}
+	sort.Strings(names)
 	for _, n := range names {
 		out = append(out, r.templates[n])
 	}

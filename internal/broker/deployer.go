@@ -3,6 +3,7 @@ package broker
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/capability"
@@ -152,10 +153,16 @@ func MatchmakerBlastRadius(m *Matchmaker) BlastRadius {
 }
 
 // DeployerBlastRadius computes the exposure of a compromised
-// usage-delegation broker.
+// usage-delegation broker. Sites are visited in sorted order so the
+// floating-point exposure total is bit-identical across runs.
 func DeployerBlastRadius(d *Deployer) BlastRadius {
-	var b BlastRadius
+	sites := make([]string, 0, len(d.Sites))
 	for site := range d.Sites {
+		sites = append(sites, site)
+	}
+	sort.Strings(sites)
+	var b BlastRadius
+	for _, site := range sites {
 		if amt := d.Inventory(site); amt > 0 {
 			b.ResourceExposed += amt
 			b.SitesExposed++

@@ -82,6 +82,9 @@ func (m *BatchManager) commitments() []commitment {
 	now := m.eng.Now()
 	out := make([]commitment, 0, len(m.running)+len(m.reservations))
 	for _, c := range m.running {
+		// Commitment order never escapes: minFree sums integer slot
+		// counts (commutative) and earliestStart sorts its candidates.
+		//gridlint:ignore maporder consumers aggregate commutatively (integer sums) or sort candidates themselves
 		out = append(out, *c)
 	}
 	for _, r := range m.reservations {
@@ -92,6 +95,7 @@ func (m *BatchManager) commitments() []commitment {
 		if start < now {
 			start = now
 		}
+		//gridlint:ignore maporder consumers aggregate commutatively (integer sums) or sort candidates themselves
 		out = append(out, commitment{start: start, end: r.End, count: r.Count})
 	}
 	return out

@@ -3,6 +3,7 @@ package gram
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/rsl"
 )
@@ -104,10 +105,18 @@ func (g *Glue) translate(req rsl.Request) rsl.Request {
 		}
 		local.Relations = append(local.Relations, out)
 	}
-	for attr, def := range g.Dialect.Required {
+	// Synthesized attributes are appended in sorted name order: the
+	// relation sequence is part of the request a trace may record, so it
+	// must not depend on map iteration order.
+	required := make([]string, 0, len(g.Dialect.Required))
+	for attr := range g.Dialect.Required {
+		required = append(required, attr)
+	}
+	sort.Strings(required)
+	for _, attr := range required {
 		if _, ok := local.Find(attr); !ok {
 			local.Relations = append(local.Relations, rsl.Relation{
-				Attr: attr, Op: rsl.OpEq, Values: []rsl.Value{{Literal: def}},
+				Attr: attr, Op: rsl.OpEq, Values: []rsl.Value{{Literal: g.Dialect.Required[attr]}},
 			})
 			g.TranslateOps++
 		}
@@ -136,9 +145,26 @@ func (g *Glue) translateErr(err error) error {
 		return nil
 	}
 	g.TranslateOps++
+	// First-match over an unordered map would let the winning translation
+	// vary between runs when an error matches several canonical kinds;
+	// match in sorted local-code order instead.
+	type errCode struct {
+		canonical error
+		code      string
+	}
+	codes := make([]errCode, 0, len(g.Dialect.Errors))
 	for canonical, code := range g.Dialect.Errors {
-		if errors.Is(err, canonical) {
-			return fmt.Errorf("%w (local code %s)", canonical, code)
+		codes = append(codes, errCode{canonical, code})
+	}
+	sort.Slice(codes, func(i, j int) bool {
+		if codes[i].code != codes[j].code {
+			return codes[i].code < codes[j].code
+		}
+		return codes[i].canonical.Error() < codes[j].canonical.Error()
+	})
+	for _, ec := range codes {
+		if errors.Is(err, ec.canonical) {
+			return fmt.Errorf("%w (local code %s)", ec.canonical, ec.code)
 		}
 	}
 	if g.Dialect.Rename == nil && g.Dialect.Required == nil {

@@ -126,7 +126,10 @@ func (g *Gatekeeper) Jobs() []*Job {
 // usage with specific individuals rather than communities or services").
 func (g *Gatekeeper) UsageByOwner() map[string]float64 {
 	out := make(map[string]float64)
-	for _, j := range g.jobs {
+	// Jobs() iterates in sorted ID order: owners with several jobs get
+	// their core-seconds summed in a reproducible sequence (float
+	// addition is not associative, so order changes the bits).
+	for _, j := range g.Jobs() {
 		if cs := j.ChargedCoreSeconds(); cs > 0 {
 			out[j.Spec.Owner] += cs
 		}

@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// directive is one parsed //gridlint:ignore comment.
+//
+// Form: //gridlint:ignore <analyzer> <reason...>
+//
+// The directive suppresses findings of the named analyzer on its own
+// line (end-of-line comment) or on the line immediately below it
+// (standalone comment line). The reason is mandatory: every suppression
+// must leave an audit trail a reviewer can weigh.
+type directive struct {
+	File     string
+	Line     int
+	Analyzer string
+	Reason   string
+}
+
+const directivePrefix = "gridlint:ignore"
+
+// directives extracts every gridlint directive from a package's
+// comments. Malformed directives — unknown analyzer name, missing
+// reason — are returned as findings so the build fails rather than the
+// suppression silently not applying.
+func directives(fset *token.FileSet, pkg *Package) ([]directive, []Finding) {
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	var dirs []directive
+	var errs []Finding
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(text, directivePrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				reason = strings.TrimSpace(reason)
+				switch {
+				case name == "":
+					errs = append(errs, Finding{
+						Analyzer: "directive", Pos: pos,
+						Message: "gridlint:ignore needs an analyzer name and a reason",
+						Hint:    fmt.Sprintf("write //gridlint:ignore <analyzer> <reason>; analyzers: %s", analyzerNames()),
+					})
+				case !known[name]:
+					errs = append(errs, Finding{
+						Analyzer: "directive", Pos: pos,
+						Message: fmt.Sprintf("gridlint:ignore names unknown analyzer %q", name),
+						Hint:    "analyzers: " + analyzerNames(),
+					})
+				case reason == "":
+					errs = append(errs, Finding{
+						Analyzer: "directive", Pos: pos,
+						Message: fmt.Sprintf("gridlint:ignore %s has no reason", name),
+						Hint:    "suppressions must be justified: //gridlint:ignore " + name + " <reason>",
+					})
+				default:
+					dirs = append(dirs, directive{
+						File: pos.Filename, Line: pos.Line, Analyzer: name, Reason: reason,
+					})
+				}
+			}
+		}
+	}
+	return dirs, errs
+}
+
+func analyzerNames() string {
+	var names []string
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	return strings.Join(names, ", ")
+}

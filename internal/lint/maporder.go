@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MaporderAnalyzer flags `range` over a map whose loop body has
+// order-sensitive effects. Go deliberately randomises map iteration
+// order, so any effect that depends on visit order — appending to a
+// slice, emitting trace/output lines, accumulating floating-point sums
+// (addition is not associative), or returning the first match — makes
+// the run schedule-dependent and breaks the golden traces.
+//
+// The canonical remediation is collect-keys / sort / iterate:
+//
+//	keys := make([]string, 0, len(m))
+//	for k := range m { keys = append(keys, k) }
+//	sort.Strings(keys)
+//	for _, k := range keys { ... }
+//
+// That idiom itself contains an append inside a map range, so the
+// analyzer recognises it: an append-accumulation is accepted when a
+// sort.* call follows the loop in the same function. Emission, float
+// accumulation, and first-match returns have no such redemption — a
+// later sort cannot reorder output already written or a sum already
+// rounded — and are always flagged.
+var MaporderAnalyzer = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration with order-sensitive effects (append w/o sort, emission, float accumulation, first-match return)",
+	Run:  runMaporder,
+}
+
+// emitMethods are method names treated as ordered emission: calling one
+// per map element publishes elements in iteration order.
+var emitMethods = map[string]bool{
+	"Send": true, "Emit": true, "Trace": true, "Tracef": true,
+	"Log": true, "Logf": true, "Write": true, "WriteString": true,
+	"Print": true, "Printf": true, "Println": true, "AddRow": true,
+}
+
+var fmtPrinters = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+func runMaporder(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		// Gather function regions, map ranges, and sort.* call positions
+		// in one pass; enclosure is resolved by position containment.
+		type region struct{ lo, hi token.Pos }
+		var regions []region
+		var ranges []*ast.RangeStmt
+		var sortCalls []token.Pos
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.FuncDecl:
+				if v.Body != nil {
+					regions = append(regions, region{v.Body.Pos(), v.Body.End()})
+				}
+			case *ast.FuncLit:
+				regions = append(regions, region{v.Body.Pos(), v.Body.End()})
+			case *ast.RangeStmt:
+				if tv, ok := info.Types[v.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						ranges = append(ranges, v)
+					}
+				}
+			case *ast.CallExpr:
+				if _, ok := pkgFunc(info, v, "sort", nil); ok {
+					sortCalls = append(sortCalls, v.Pos())
+				}
+			}
+			return true
+		})
+
+		for _, rs := range ranges {
+			// Innermost enclosing function body, for the sort-after check.
+			encl := region{f.Pos(), f.End()}
+			for _, r := range regions {
+				if r.lo <= rs.Pos() && rs.End() <= r.hi && r.hi-r.lo < encl.hi-encl.lo {
+					encl = r
+				}
+			}
+			sortAfter := false
+			for _, p := range sortCalls {
+				if p > rs.End() && p < encl.hi {
+					sortAfter = true
+					break
+				}
+			}
+			checkMapRangeBody(pass, rs, sortAfter)
+		}
+	}
+}
+
+func checkMapRangeBody(pass *Pass, rs *ast.RangeStmt, sortAfter bool) {
+	info := pass.Pkg.Info
+	loopVars := map[types.Object]bool{}
+	var loopKey types.Object
+	for i, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.Defs[id]; obj != nil {
+				loopVars[obj] = true
+				if i == 0 {
+					loopKey = obj
+				}
+			}
+		}
+	}
+	// indexedByLoopKey reports whether e is m[k] with k exactly the range
+	// key: each key is visited once, so such writes are commutative.
+	indexedByLoopKey := func(e ast.Expr) bool {
+		ix, ok := e.(*ast.IndexExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ix.Index.(*ast.Ident)
+		return ok && loopKey != nil && info.Uses[id] == loopKey
+	}
+	usesLoopVar := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && loopVars[info.Uses[id]] {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	outer := func(e ast.Expr) (*ast.Ident, bool) {
+		id := rootIdent(e)
+		if id == nil || id.Name == "_" {
+			return nil, false
+		}
+		return id, !definedWithin(info, id, rs.Pos(), rs.End())
+	}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			switch v.Tok {
+			case token.ASSIGN:
+				for i, lhs := range v.Lhs {
+					id, isOuter := outer(lhs)
+					if !isOuter || i >= len(v.Rhs) {
+						continue
+					}
+					// dst[k] = v keyed by the range key is the blessed
+					// map-copy idiom: commutative, each key visited once.
+					if indexedByLoopKey(lhs) {
+						continue
+					}
+					if call, ok := v.Rhs[i].(*ast.CallExpr); ok && isBuiltinAppend(info, call) {
+						if !sortAfter {
+							pass.Reportf(v.Pos(),
+								"collect into "+id.Name+" then sort.* it after the loop (or iterate pre-sorted keys)",
+								"append to %q accumulates in map iteration order", id.Name)
+						}
+					}
+				}
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				for _, lhs := range v.Lhs {
+					id, isOuter := outer(lhs)
+					if !isOuter || indexedByLoopKey(lhs) {
+						continue
+					}
+					if tv, ok := info.Types[lhs]; ok && isFloat(tv.Type) {
+						pass.Reportf(v.Pos(),
+							"iterate sorted keys: float accumulation is not associative, so the sum depends on visit order",
+							"floating-point accumulation into %q inside map iteration", id.Name)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if name, ok := pkgFunc(info, v, "fmt", fmtPrinters); ok {
+				pass.Reportf(v.Pos(),
+					"iterate sorted keys so output lines have a stable order",
+					"fmt.%s emits in map iteration order", name)
+				return true
+			}
+			if sel, ok := v.Fun.(*ast.SelectorExpr); ok && emitMethods[sel.Sel.Name] {
+				// Only method calls (receiver is a value, not a package).
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+						return true
+					}
+				}
+				pass.Reportf(v.Pos(),
+					"iterate sorted keys so the emission sequence is reproducible",
+					"%s call emits per map element in iteration order", sel.Sel.Name)
+			}
+		case *ast.ReturnStmt:
+			for _, res := range v.Results {
+				if usesLoopVar(res) {
+					pass.Reportf(v.Pos(),
+						"first match over an unordered map is schedule-dependent; iterate sorted keys or index the map directly",
+						"return of loop-dependent value from inside map iteration")
+					break
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

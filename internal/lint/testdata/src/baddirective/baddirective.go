@@ -1,0 +1,15 @@
+// Package baddirective is gridlint corpus for directive hygiene: every
+// directive below is itself a finding (asserted directly in
+// lint_test.go rather than via want comments, because a trailing want
+// comment would be swallowed into the directive's reason text).
+package baddirective
+
+//gridlint:ignore nosuchanalyzer the analyzer name is not real
+
+//gridlint:ignore walltime
+
+//gridlint:ignore
+
+//gridlint:ignore errdrop stale: there is no errdrop finding anywhere near this line
+
+func Clean() int { return 1 }

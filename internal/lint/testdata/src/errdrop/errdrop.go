@@ -1,0 +1,43 @@
+// Package errdrop is gridlint corpus: discarded errors from
+// domain-critical calls (Redeem, Submit, Deploy, ...) are flagged.
+package errdrop
+
+import "errors"
+
+type authority struct{}
+
+func (authority) Redeem(tk string) (string, error) { return "", errors.New("double spend") }
+func (authority) Submit(j string) error            { return nil }
+
+// DeploySlice is package-level: plain function calls are guarded too.
+func DeploySlice(name string) error { return nil }
+
+func Bad(a authority) {
+	a.Submit("j1")             // want "error returned by Submit is dropped"
+	a.Redeem("t1")             // want "error returned by Redeem is dropped"
+	lease, _ := a.Redeem("t2") // want "error from Redeem discarded via blank identifier"
+	_ = lease
+	go a.Submit("j2")    // want "error returned by Submit is dropped"
+	defer a.Submit("j3") // want "error returned by Submit is dropped"
+}
+
+// BadFunc covers plain (non-method) calls to guarded names.
+func BadFunc() {
+	DeploySlice("cdn") // want "error returned by DeploySlice is dropped"
+}
+
+func Good(a authority) error {
+	if err := a.Submit("j"); err != nil {
+		return err
+	}
+	lease, err := a.Redeem("t")
+	_ = lease
+	return err
+}
+
+type fireAndForget struct{}
+
+// Submit here returns nothing: same name, no error result, no finding.
+func (fireAndForget) Submit(string) {}
+
+func GoodNoError(q fireAndForget) { q.Submit("x") }

@@ -1,0 +1,35 @@
+// Package globalrand is gridlint corpus: package-level math/rand draws
+// are banned everywhere; injected seeded streams are the contract.
+package globalrand
+
+import "math/rand"
+
+// GoodInjected builds and uses a seeded stream — the exact remediation
+// the analyzer's hint prescribes. rand.New/rand.NewSource are allowed.
+func GoodInjected(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// GoodParam draws from a stream handed in by the caller: no finding.
+func GoodParam(rng *rand.Rand) float64 { return rng.Float64() }
+
+func BadIntn() int        { return rand.Intn(10) }     // want "global math/rand draw rand.Intn"
+func BadFloat64() float64 { return rand.Float64() }    // want "global math/rand draw rand.Float64"
+func BadPerm() []int      { return rand.Perm(4) }      // want "global math/rand draw rand.Perm"
+func BadExp() float64     { return rand.ExpFloat64() } // want "global math/rand draw rand.ExpFloat64"
+
+func BadShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand draw rand.Shuffle"
+}
+
+type fakeRand struct{}
+
+func (fakeRand) Intn(int) int { return 0 }
+
+// GoodShadow shadows the import with a local value; the call resolves
+// to the local method, so there is no finding.
+func GoodShadow() int {
+	rand := fakeRand{}
+	return rand.Intn(3)
+}

@@ -1,0 +1,20 @@
+// Package ignore is gridlint corpus for directive handling: a
+// well-formed //gridlint:ignore suppresses exactly the finding on its
+// own line or the line below, and nothing else.
+package ignore
+
+import "math/rand"
+
+// Twice draws twice; only the first draw carries a directive, so
+// exactly one finding is suppressed and one stays active.
+func Twice() (int, int) {
+	//gridlint:ignore globalrand corpus fixture: directive must suppress only the next line
+	a := rand.Intn(3)
+	b := rand.Intn(3)
+	return a, b
+}
+
+// Inline shows the end-of-line directive form.
+func Inline() int {
+	return rand.Intn(7) //gridlint:ignore globalrand corpus fixture: inline suppression form
+}

@@ -1,0 +1,116 @@
+// Package maporder is gridlint corpus: order-sensitive effects inside
+// map iteration are flagged; the collect/sort idiom and commutative
+// bodies are not.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GoodSorted is the blessed collect-then-sort idiom: the in-loop append
+// is redeemed by the sort.* call after the loop.
+func GoodSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// GoodCopy writes keyed by the range key: commutative, no finding.
+func GoodCopy(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// GoodCount accumulates integers: addition over int is associative and
+// commutative, so visit order cannot change the result.
+func GoodCount(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// GoodKeyedFloat accumulates floats but into a slot keyed by the range
+// key — each key visited exactly once, so it is a move, not a sum.
+func GoodKeyedFloat(m map[string]float64) map[string]float64 {
+	out := map[string]float64{}
+	for k, v := range m {
+		out[k] += v
+	}
+	return out
+}
+
+// GoodDelete removes entries while ranging: deletion is commutative.
+func GoodDelete(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+func BadAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to "out" accumulates in map iteration order`
+	}
+	return out
+}
+
+func BadEmit(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "fmt.Println emits in map iteration order"
+	}
+}
+
+func BadFloatSum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want `floating-point accumulation into "total"`
+	}
+	return total
+}
+
+func BadFirstMatch(m map[string]int, target int) string {
+	for k, v := range m {
+		if v == target {
+			return k // want "return of loop-dependent value from inside map iteration"
+		}
+	}
+	return ""
+}
+
+type wire struct{}
+
+func (wire) Send(string) {}
+
+// BadSend publishes one message per element: the receiver observes map
+// iteration order.
+func BadSend(m map[string]bool, w wire) {
+	for k := range m {
+		w.Send(k) // want "Send call emits per map element"
+	}
+}
+
+// BadClosureAppend shows the sort-after check is scoped to the
+// enclosing function literal, not the outer function: the closure
+// appends with no sort of its own, and the sort call in the outer
+// function body runs before the closure ever fires.
+func BadClosureAppend(m map[string]int, run func(func())) []string {
+	var out []string
+	run(func() {
+		for k := range m {
+			out = append(out, k) // want `append to "out" accumulates`
+		}
+	})
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,34 @@
+// Package walltime is gridlint corpus: wall-clock reads are banned in
+// internal/ packages; time.Duration values and arithmetic are fine.
+package walltime
+
+import (
+	"time"
+
+	wall "time"
+)
+
+const tick = 50 * time.Millisecond
+
+// GoodDuration only moves virtual-time currency around: no finding.
+func GoodDuration(d time.Duration) time.Duration { return d + tick }
+
+func BadNow() time.Duration {
+	t0 := time.Now()      // want "wall-clock call time.Now"
+	return time.Since(t0) // want "wall-clock call time.Since"
+}
+
+func BadWait() {
+	time.Sleep(tick)    // want "wall-clock call time.Sleep"
+	<-time.After(tick)  // want "wall-clock call time.After"
+	_ = time.Tick(tick) // want "wall-clock call time.Tick"
+}
+
+// BadRenamed proves resolution is by package identity, not by the
+// literal identifier "time".
+func BadRenamed() wall.Time { return wall.Now() } // want "wall-clock call time.Now"
+
+func BadTimer(fn func()) {
+	_ = time.NewTimer(tick)      // want "wall-clock call time.NewTimer"
+	_ = time.AfterFunc(tick, fn) // want "wall-clock call time.AfterFunc"
+}

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// WalltimeAnalyzer forbids wall-clock reads and real-time waits in
+// internal/ packages. All simulated time must flow through the
+// sim.Engine virtual clock (Engine.Now, Schedule, NewTimer, NewTicker):
+// a single time.Now() in a hot path stamps host time into traces and
+// destroys byte-for-byte reproducibility. time.Duration values and
+// constants (time.Second, ...) remain fine — the type is the currency
+// of virtual time; only the wall clock itself is banned.
+var WalltimeAnalyzer = &Analyzer{
+	Name: "walltime",
+	Doc:  "forbid wall-clock reads (time.Now/Since/Sleep/After/...) in internal/ packages",
+	Run:  runWalltime,
+}
+
+// walltimeBanned are the package-level time functions that read or wait
+// on the host clock.
+var walltimeBanned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func runWalltime(pass *Pass) {
+	if !strings.Contains(pass.Pkg.Path, "/internal/") {
+		return // examples and cmd may touch real time (e.g. CLI timeouts)
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := pkgFunc(pass.Pkg.Info, call, "time", walltimeBanned); ok {
+				pass.Reportf(call.Pos(),
+					"route time through the sim.Engine clock (Engine.Now / Schedule / NewTimer / NewTicker)",
+					"wall-clock call time.%s in internal package %s", name, pass.Pkg.Path)
+			}
+			return true
+		})
+	}
+}

@@ -279,16 +279,16 @@ func (g *GIIS) Live() int {
 // Sweep drops expired records (housekeeping; Eval already ignores them).
 func (g *GIIS) Sweep() int {
 	now := g.eng.Now()
-	var dead []string
+	n := 0
+	// Deleting during range is safe in Go, and deletion is commutative,
+	// so no intermediate collect-and-sort slice is needed.
 	for name, c := range g.records {
 		if c.expires <= now {
-			dead = append(dead, name)
+			delete(g.records, name)
+			n++
 		}
 	}
-	for _, name := range dead {
-		delete(g.records, name)
-	}
-	return len(dead)
+	return n
 }
 
 // StartUplink pushes this index's live records to a parent index every

@@ -151,10 +151,17 @@ func (f *PeerFederation) MeshBarter(amount float64, notBefore, notAfter time.Dur
 	return trades
 }
 
-// ForeignInventory sums the CPU a site holds on all partners.
+// ForeignInventory sums the CPU a site holds on all partners. Partner
+// order is sorted: float addition is not associative, so summing in map
+// iteration order would make the total's low bits schedule-dependent.
 func (p *Peer) ForeignInventory(f *PeerFederation) float64 {
-	total := 0.0
+	sites := make([]string, 0, len(f.peers))
 	for site := range f.peers {
+		sites = append(sites, site)
+	}
+	sort.Strings(sites)
+	total := 0.0
+	for _, site := range sites {
 		if site == p.Site {
 			continue
 		}
