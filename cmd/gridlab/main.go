@@ -7,23 +7,31 @@
 //
 //	gridlab [-seed N] <table1|fig1|fig2|scale|proxylife|delegation|allocation|hetero|datagrid|oversub|chaos|all>
 //	gridlab chaos [-seed N] [-profile quiet|crashes|partitions|mixed] [-sweep N]
+//	gridlab trace <fig2|delegation|chaos> [-seed N] [-o FILE] [-format jsonl|chrome|timeline]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/faultlab"
+	"repro/internal/obs"
 )
 
 var (
-	seed    = flag.Int64("seed", 42, "simulation seed (runs are deterministic per seed)")
-	profile = flag.String("profile", "mixed", "chaos fault profile (quiet|crashes|partitions|mixed)")
-	sweep   = flag.Int("sweep", 0, "chaos: run N seeds x all profiles instead of one run")
+	seed     = flag.Int64("seed", 42, "simulation seed (runs are deterministic per seed)")
+	profile  = flag.String("profile", "mixed", "chaos fault profile (quiet|crashes|partitions|mixed)")
+	sweep    = flag.Int("sweep", 0, "chaos: run N seeds x all profiles instead of one run")
+	traceOut = flag.String("o", "", "trace: output file (default stdout)")
+	traceFmt = flag.String("format", "jsonl", "trace: export format (jsonl|chrome|timeline)")
 )
+
+// traceScenario is the positional operand of `gridlab trace`.
+var traceScenario = "fig2"
 
 type command struct {
 	name, desc string
@@ -130,6 +138,7 @@ func commands() []command {
 			fmt.Println("\nall invariants held")
 			return nil
 		}},
+		{"trace", "run a scenario (fig2|delegation|chaos) with tracing on and export the trace", runTrace},
 		{"recs", "§6 recommendations mapped to their demonstrations in this repo", func() error {
 			core.RenderRecommendations(os.Stdout)
 			return nil
@@ -156,19 +165,33 @@ func main() {
 		os.Exit(2)
 	}
 	name := flag.Arg(0)
-	// Allow flags after the subcommand too: gridlab chaos -seed 7 -profile crashes.
-	if flag.NArg() > 1 {
-		if err := flag.CommandLine.Parse(flag.Args()[1:]); err != nil {
+	// Allow flags after the subcommand too: gridlab chaos -seed 7 -profile
+	// crashes. `trace` additionally takes one positional scenario operand,
+	// on either side of the flags.
+	rest := flag.Args()[1:]
+	if name == "trace" && len(rest) > 0 && !strings.HasPrefix(rest[0], "-") {
+		traceScenario = rest[0]
+		rest = rest[1:]
+	}
+	if len(rest) > 0 {
+		if err := flag.CommandLine.Parse(rest); err != nil {
 			os.Exit(2)
 		}
 		if flag.NArg() != 0 {
-			usage()
-			os.Exit(2)
+			if name == "trace" && flag.NArg() == 1 {
+				traceScenario = flag.Arg(0)
+			} else {
+				usage()
+				os.Exit(2)
+			}
 		}
 	}
 	cmds := commands()
 	if name == "all" {
 		for _, c := range cmds {
+			if c.name == "trace" {
+				continue // exports a machine-readable file, not a report
+			}
 			fmt.Printf("==== %s: %s ====\n", c.name, c.desc)
 			if err := c.run(); err != nil {
 				fmt.Fprintf(os.Stderr, "gridlab %s: %v\n", c.name, err)
@@ -192,10 +215,65 @@ func main() {
 	os.Exit(2)
 }
 
+// runTrace executes one scenario with the obs layer enabled and exports
+// the resulting trace in the requested format.
+func runTrace() error {
+	var tr *obs.Tracer
+	switch traceScenario {
+	case "fig2":
+		res, t, err := core.Figure2Traced(*seed)
+		if err != nil {
+			return err
+		}
+		if err := core.ValidateFigure2(res); err != nil {
+			return err
+		}
+		tr = t
+	case "delegation":
+		t, err := core.TraceDelegation(*seed)
+		if err != nil {
+			return err
+		}
+		tr = t
+	case "chaos":
+		p, err := faultlab.ProfileByName(*profile)
+		if err != nil {
+			return err
+		}
+		cfg := faultlab.DefaultChaosConfig()
+		cfg.Trace = true
+		rep := faultlab.RunChaos(*seed, p, cfg)
+		tr = rep.Tracer
+	default:
+		return fmt.Errorf("unknown trace scenario %q (want fig2|delegation|chaos)", traceScenario)
+	}
+	out := os.Stdout
+	if *traceOut != "" {
+		fp, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer fp.Close()
+		out = fp
+	}
+	switch *traceFmt {
+	case "jsonl":
+		return tr.WriteJSONL(out)
+	case "chrome":
+		return tr.WriteChromeTrace(out)
+	case "timeline":
+		tr.WriteTimeline(out, 72)
+		return nil
+	default:
+		return fmt.Errorf("unknown trace format %q (want jsonl|chrome|timeline)", *traceFmt)
+	}
+}
+
 func usage() {
 	fmt.Fprintf(os.Stderr, "usage: gridlab [-seed N] <command>\n\ncommands:\n")
 	for _, c := range commands() {
 		fmt.Fprintf(os.Stderr, "  %-11s %s\n", c.name, c.desc)
 	}
 	fmt.Fprintf(os.Stderr, "  %-11s run every experiment in order\n", "all")
+	fmt.Fprintf(os.Stderr, "\ntrace usage: gridlab trace <fig2|delegation|chaos> [-seed N] [-o FILE] [-format jsonl|chrome|timeline]\n")
 }

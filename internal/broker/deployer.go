@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/capability"
 	"repro/internal/identity"
+	"repro/internal/obs"
 	"repro/internal/sharp"
 	"repro/internal/silk"
 	"repro/internal/vm"
@@ -40,24 +41,51 @@ type Deployer struct {
 	Hops int
 	// DeployedN / FailedN count slice deployments.
 	DeployedN, FailedN int
+
+	// Observability handles (inert when no tracer is installed).
+	tr                     *obs.Tracer
+	cDeployOK, cDeployFail *obs.Counter
+	cStocked               *obs.Counter
+}
+
+// SetTracer installs an observability tracer. A nil tracer (the default)
+// keeps every instrumentation point inert.
+func (d *Deployer) SetTracer(tr *obs.Tracer) {
+	d.tr = tr
+	d.cDeployOK = tr.Counter("broker.deploys.ok")
+	d.cDeployFail = tr.Counter("broker.deploys.failed")
+	d.cStocked = tr.Counter("broker.tickets.stocked")
 }
 
 // Stock pulls a ticket of `amount` CPU from each named site into the
 // agent's inventory (Figure 2 steps 1-2, amortized over many requests).
 func (d *Deployer) Stock(amount float64, notBefore, notAfter time.Duration, sites ...string) error {
+	var span obs.SpanContext
+	if d.tr != nil {
+		span = d.tr.Begin("broker.stock",
+			obs.Float("amount", amount), obs.Int("sites", len(sites)))
+		defer func() { span.End() }()
+	}
+	restore := d.tr.EnterScope(span)
+	defer restore()
 	for _, s := range sites {
 		rt, ok := d.Sites[s]
 		if !ok {
-			return fmt.Errorf("broker: unknown site %q", s)
+			err := fmt.Errorf("broker: unknown site %q", s)
+			span.Annotate(obs.Err(err))
+			return err
 		}
 		d.Hops += 2 // request + grant
 		tk, err := rt.Authority.IssueTicket(d.Agent.Name, d.Agent.Key(), capability.CPU, amount, notBefore, notAfter)
 		if err != nil {
+			span.Annotate(obs.Err(err))
 			return err
 		}
 		if err := d.Agent.Acquire(tk); err != nil {
+			span.Annotate(obs.Err(err))
 			return err
 		}
+		d.cStocked.Inc()
 	}
 	return nil
 }
@@ -74,6 +102,14 @@ func (d *Deployer) Inventory(site string) float64 {
 // are torn down and their leases released (all-or-nothing, so a partial
 // CDN does not linger).
 func (d *Deployer) DeploySlice(sliceName string, sm *identity.Principal, cpuPerSite float64, notBefore, notAfter time.Duration, sites []string) (*vm.Slice, error) {
+	var span, siteSpan obs.SpanContext
+	if d.tr != nil {
+		span = d.tr.Begin("broker.deploy",
+			obs.String("slice", sliceName), obs.String("sm", sm.Name),
+			obs.Float("cpu_per_site", cpuPerSite), obs.Int("sites", len(sites)))
+	}
+	restore := d.tr.EnterScope(span)
+	defer restore()
 	slice := vm.NewSlice(sliceName)
 	var leases []struct {
 		rt *SiteRuntime
@@ -85,50 +121,63 @@ func (d *Deployer) DeploySlice(sliceName string, sm *identity.Principal, cpuPerS
 			x.rt.Authority.ReleaseLease(x.l)
 		}
 	}
+	// fail records the outcome on the open spans before unwinding.
+	fail := func(err error) error {
+		d.FailedN++
+		d.cDeployFail.Inc()
+		siteSpan.End(obs.Err(err))
+		span.End(obs.Err(err))
+		rollback()
+		return err
+	}
 	for _, site := range sites {
+		if d.tr != nil {
+			siteSpan = d.tr.BeginUnder(span, "broker.deploy.site", obs.String("site", site))
+		}
+		restoreSite := d.tr.EnterScope(siteSpan)
 		rt, ok := d.Sites[site]
 		if !ok {
-			rollback()
-			return nil, fmt.Errorf("broker: unknown site %q", site)
+			restoreSite()
+			return nil, fail(fmt.Errorf("broker: unknown site %q", site))
 		}
 		d.Hops += 2 // buy request + ticket grant
 		tickets, err := d.Agent.Sell(sm.Name, sm.Public(), site, capability.CPU, cpuPerSite, notBefore, notAfter)
 		if err != nil {
-			d.FailedN++
-			rollback()
-			return nil, fmt.Errorf("%w: %v", ErrNoTickets, err)
+			restoreSite()
+			return nil, fail(fmt.Errorf("%w: %v", ErrNoTickets, err))
 		}
 		v := vm.New(sliceName+"@"+site, rt.Node, rt.NM)
 		for _, tk := range tickets {
 			d.Hops += 2 // redeem + lease grant
 			lease, err := rt.Authority.Redeem(tk)
 			if err != nil {
-				d.FailedN++
-				rollback()
-				return nil, err
+				restoreSite()
+				return nil, fail(err)
 			}
 			leases = append(leases, struct {
 				rt *SiteRuntime
 				l  *sharp.Lease
 			}{rt, lease})
 			if err := v.Bind(lease.CapID); err != nil {
-				d.FailedN++
-				rollback()
-				return nil, err
+				restoreSite()
+				return nil, fail(err)
 			}
 		}
 		if err := v.Start(); err != nil {
-			d.FailedN++
-			rollback()
-			return nil, err
+			restoreSite()
+			return nil, fail(err)
 		}
 		if err := slice.Add(v); err != nil {
-			d.FailedN++
-			rollback()
-			return nil, err
+			restoreSite()
+			return nil, fail(err)
 		}
+		restoreSite()
+		siteSpan.End()
+		siteSpan = obs.SpanContext{}
 	}
 	d.DeployedN++
+	d.cDeployOK.Inc()
+	span.End(obs.Int("vms", len(sites)))
 	return slice, nil
 }
 

@@ -29,6 +29,7 @@ import (
 	"repro/internal/gsi"
 	"repro/internal/identity"
 	"repro/internal/mds"
+	"repro/internal/obs"
 	"repro/internal/sharp"
 	"repro/internal/silk"
 	"repro/internal/sim"
@@ -178,6 +179,12 @@ type Federation struct {
 	CA    *identity.CA
 	Rng   *rand.Rand
 
+	// Tracer is the federation-wide observability tracer, non-nil only
+	// when the federation was built with Config.Trace. Every subsystem
+	// (network, authorities, batch managers, deployer) shares it, so
+	// spans nest causally across layers.
+	Tracer *obs.Tracer
+
 	Sites []*Site
 
 	// VO-level services.
@@ -208,6 +215,10 @@ type Config struct {
 	// StopPushers, when set, stops the MDS pushers after the initial
 	// registration so short experiments can drain the event queue.
 	StopPushers bool
+	// Trace enables the obs tracing/metrics layer: a Tracer is created,
+	// bound to the engine, and installed into every subsystem built here.
+	// Off (the default) costs nothing — all instrumentation is nil-gated.
+	Trace bool
 }
 
 // Build assembles a federation of the given architecture over the sites.
@@ -240,6 +251,12 @@ func Build(stack Stack, cfg Config, specs []SiteSpec) *Federation {
 	f.Deployer = &broker.Deployer{
 		Agent: sharp.NewAgent(identity.NewPrincipal("vo-agent", rng)),
 		Sites: make(map[string]*broker.SiteRuntime),
+	}
+	if cfg.Trace {
+		f.Tracer = obs.NewTracer(eng)
+		f.Tracer.BindEngine()
+		net.SetTracer(f.Tracer)
+		f.Deployer.SetTracer(f.Tracer)
 	}
 
 	verifier := identity.NewVerifier(f.CA)
@@ -279,6 +296,9 @@ func Build(stack Stack, cfg Config, specs []SiteSpec) *Federation {
 				slots = 8
 			}
 			site.Batch = gram.NewBatchManager(eng, "batch", slots)
+			if f.Tracer != nil {
+				site.Batch.SetTracer(f.Tracer)
+			}
 			site.Gatekeeper.AddManager("batch", site.Batch)
 
 			site.GRIS = mds.NewGRIS(eng, net, site.Host)
@@ -313,6 +333,9 @@ func Build(stack Stack, cfg Config, specs []SiteSpec) *Federation {
 			auth := sharp.NewAuthority(eng, spec.Name,
 				identity.NewPrincipal("auth@"+spec.Name, rng), nm,
 				map[capability.ResourceType]float64{capability.CPU: nodeSpec.Cores})
+			if f.Tracer != nil {
+				auth.SetTracer(f.Tracer)
+			}
 			site.Runtime = &broker.SiteRuntime{Authority: auth, NM: nm, Node: node}
 			f.Deployer.Sites[spec.Name] = site.Runtime
 

@@ -8,6 +8,7 @@ import (
 	"repro/internal/capability"
 	"repro/internal/identity"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sharp"
 	"repro/internal/vm"
 )
@@ -169,7 +170,20 @@ type Figure2Result struct {
 // leases (5, 6), then creates a VM, binds the leased resources, and
 // starts the service (7).
 func Figure2(seed int64) (*Figure2Result, error) {
-	f := Build(StackPlanetLab, Config{Seed: seed, StopPushers: true}, []SiteSpec{
+	res, _, err := figure2(seed, false)
+	return res, err
+}
+
+// Figure2Traced runs the same scenario with the obs layer on and returns
+// the federation's tracer alongside the result: the nine protocol arrows
+// become "fig2.step" spans under a root "fig2" span, with the sharp
+// issue/redeem spans nested beneath the steps that caused them.
+func Figure2Traced(seed int64) (*Figure2Result, *obs.Tracer, error) {
+	return figure2(seed, true)
+}
+
+func figure2(seed int64, trace bool) (*Figure2Result, *obs.Tracer, error) {
+	f := Build(StackPlanetLab, Config{Seed: seed, StopPushers: true, Trace: trace}, []SiteSpec{
 		{Name: "siteA", X: 10, Y: 0, Nodes: 2, Policy: PlanetLabSitePolicy()},
 		{Name: "siteB", X: 40, Y: 20, Nodes: 2, Policy: PlanetLabSitePolicy()},
 	})
@@ -178,8 +192,21 @@ func Figure2(seed int64) (*Figure2Result, error) {
 	res := &Figure2Result{}
 	now := f.Eng.Now()
 	horizon := now + time.Hour
+	var root obs.SpanContext
+	if f.Tracer != nil {
+		root = f.Tracer.Begin("fig2", obs.Int("seed", int(seed)))
+		defer func() { root.End() }()
+	}
+	restore := f.Tracer.EnterScope(root)
+	defer restore()
 	record := func(step, from, to, action string) {
 		res.Trace = append(res.Trace, TraceStep{Step: step, From: from, To: to, Action: action, At: f.Eng.Now()})
+		if f.Tracer != nil {
+			s := f.Tracer.BeginUnder(root, "fig2.step",
+				obs.String("step", step), obs.String("from", from),
+				obs.String("to", to), obs.String("action", action))
+			s.End()
+		}
 	}
 
 	// Steps 1a/2a and 1b/2b: the agent acquires tickets from both sites.
@@ -189,11 +216,11 @@ func Figure2(seed int64) (*Figure2Result, error) {
 		record("1"+suffix, agent.Name, siteName, "request ticket")
 		tk, err := auth.IssueTicket(agent.Name, agent.Key(), capability.CPU, 1, now, horizon)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		record("2"+suffix, siteName, agent.Name, "grant ticket")
 		if err := agent.Acquire(tk); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 
@@ -201,7 +228,7 @@ func Figure2(seed int64) (*Figure2Result, error) {
 	record("3", sm.Name, agent.Name, "request ticket")
 	bought, err := agent.Sell(sm.Name, sm.Public(), "siteA", capability.CPU, 1, now, horizon)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	record("4", agent.Name, sm.Name, "grant ticket")
 
@@ -211,7 +238,7 @@ func Figure2(seed int64) (*Figure2Result, error) {
 	for _, tk := range bought {
 		lease, err := authA.Redeem(tk)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		res.Leases = append(res.Leases, lease)
 	}
@@ -222,19 +249,20 @@ func Figure2(seed int64) (*Figure2Result, error) {
 	v := vm.New("figure2-service", rtA.Node, rtA.NM)
 	for _, lease := range res.Leases {
 		if err := v.Bind(lease.CapID); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	if err := v.Start(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	record("7", sm.Name, "siteA", "instantiate service in virtual machine")
 	slice := vm.NewSlice("figure2")
 	if err := slice.Add(v); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	res.Slice = slice
-	return res, nil
+	f.Tracer.SampleGauges()
+	return res, f.Tracer, nil
 }
 
 // Figure2ExpectedSteps is the paper's arrow order.

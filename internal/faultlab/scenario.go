@@ -10,6 +10,7 @@ import (
 	"repro/internal/gram"
 	"repro/internal/identity"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/servicemgr"
 )
 
@@ -32,6 +33,10 @@ type ChaosConfig struct {
 	JobEvery time.Duration
 	// AuditEvery paces mid-run invariant audits.
 	AuditEvery time.Duration
+	// Trace enables the obs tracing layer for the run; the tracer comes
+	// back on Report.Tracer. Off by default: the determinism tests compare
+	// traced and untraced runs for identical outcomes.
+	Trace bool
 }
 
 // DefaultChaosConfig returns the scenario gridlab chaos runs.
@@ -70,6 +75,8 @@ type Report struct {
 	// excludes seed and profile so a quiet-profile run and a no-injector
 	// baseline with the same seed render byte-identical summaries.
 	Summary string
+	// Tracer holds the run's obs tracer when ChaosConfig.Trace was set.
+	Tracer *obs.Tracer
 }
 
 // OK reports whether every invariant held.
@@ -104,7 +111,7 @@ func run(seed int64, sched *Schedule, cfg ChaosConfig) *Report {
 			Policy: core.PlanetLabSitePolicy(),
 		}
 	}
-	f := core.Build(core.StackHybrid, core.Config{Seed: seed, RefreshInterval: cfg.Refresh}, specs)
+	f := core.Build(core.StackHybrid, core.Config{Seed: seed, RefreshInterval: cfg.Refresh, Trace: cfg.Trace}, specs)
 	end := cfg.Horizon + cfg.Converge
 
 	// Ticket stock for the service manager, valid past the audit.
@@ -124,6 +131,9 @@ func run(seed int64, sched *Schedule, cfg ChaosConfig) *Report {
 		Candidates: names,
 		Lease:      end + time.Hour,
 	})
+	if f.Tracer != nil {
+		mgr.SetTracer(f.Tracer)
+	}
 	if err := mgr.Start(); err != nil {
 		panic(fmt.Sprintf("faultlab: starting service: %v", err))
 	}
@@ -250,12 +260,14 @@ func run(seed int64, sched *Schedule, cfg ChaosConfig) *Report {
 	tbl.AddRow("faults revoked", revoked)
 	tbl.AddRow("violations", len(violations))
 
+	f.Tracer.SampleGauges()
 	rep := &Report{
 		Seed:       seed,
 		Schedule:   sched,
 		Trace:      trace,
 		Violations: violations,
 		Summary:    tbl.String(),
+		Tracer:     f.Tracer,
 	}
 	if sched != nil {
 		rep.Profile = sched.Profile

@@ -1,0 +1,65 @@
+package faultlab
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// shortChaos shrinks the default scenario so the traced/untraced and
+// determinism comparisons stay fast.
+func shortChaos() ChaosConfig {
+	cfg := DefaultChaosConfig()
+	cfg.Horizon = 2 * time.Hour
+	return cfg
+}
+
+// TestChaosTracingZeroPerturbation gates the obs layer's core promise at
+// chaos scale: switching tracing on changes nothing about the run — the
+// summary (jobs, redeploys, degraded time, violations) is byte-identical
+// — because instrumentation adds no engine events and no rng draws.
+func TestChaosTracingZeroPerturbation(t *testing.T) {
+	p, err := ProfileByName("mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := shortChaos()
+	plain := RunChaos(5, p, cfg)
+	if plain.Tracer != nil {
+		t.Error("untraced run carries a tracer")
+	}
+	cfg.Trace = true
+	traced := RunChaos(5, p, cfg)
+	if traced.Tracer == nil {
+		t.Fatal("traced run lost its tracer")
+	}
+	if plain.Summary != traced.Summary {
+		t.Errorf("tracing perturbed the run:\n--- untraced ---\n%s\n--- traced ---\n%s", plain.Summary, traced.Summary)
+	}
+}
+
+// TestChaosTraceDeterministic asserts same seed + profile + tracing twice
+// yields byte-identical JSONL exports.
+func TestChaosTraceDeterministic(t *testing.T) {
+	p, err := ProfileByName("mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := shortChaos()
+	cfg.Trace = true
+	export := func() []byte {
+		rep := RunChaos(9, p, cfg)
+		var buf bytes.Buffer
+		if err := rep.Tracer.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := export(), export()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same-seed chaos JSONL differs (%d vs %d bytes)", len(a), len(b))
+	}
+	if len(a) == 0 {
+		t.Fatal("chaos trace is empty")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -33,6 +34,16 @@ type BatchManager struct {
 	CompletedN, BackfilledN, WallKillN int
 	// CrashN counts node crashes injected via Crash.
 	CrashN int
+
+	// Observability handles (inert when no tracer is installed). jobSpans
+	// keeps one open span per in-flight job, from Submit to its terminal
+	// transition.
+	tr                               *obs.Tracer
+	jobSpans                         map[*Job]obs.SpanContext
+	cSubmitted, cStarted             *obs.Counter
+	cDone, cFailed, cCancelled       *obs.Counter
+	cBackfilled, cWallKilled, cCrash *obs.Counter
+	hWait                            *obs.Hist
 }
 
 // commitment is a slot claim over a time interval.
@@ -69,6 +80,34 @@ func NewBatchManager(eng *sim.Engine, name string, slots int) *BatchManager {
 
 // Name implements Manager.
 func (m *BatchManager) Name() string { return m.name }
+
+// SetTracer installs an observability tracer. A nil tracer (the default)
+// keeps every instrumentation point inert.
+func (m *BatchManager) SetTracer(tr *obs.Tracer) {
+	m.tr = tr
+	if tr != nil {
+		m.jobSpans = make(map[*Job]obs.SpanContext)
+	}
+	m.cSubmitted = tr.Counter("gram.jobs.submitted")
+	m.cStarted = tr.Counter("gram.jobs.started")
+	m.cDone = tr.Counter("gram.jobs.done")
+	m.cFailed = tr.Counter("gram.jobs.failed")
+	m.cCancelled = tr.Counter("gram.jobs.cancelled")
+	m.cBackfilled = tr.Counter("gram.jobs.backfilled")
+	m.cWallKilled = tr.Counter("gram.jobs.wall_killed")
+	m.cCrash = tr.Counter("gram.crashes")
+	m.hWait = tr.Hist("gram.job.wait")
+}
+
+// jobSpan returns (and removes) the open span for a job reaching a
+// terminal state; the zero SpanContext is inert when untraced.
+func (m *BatchManager) jobSpan(j *Job) obs.SpanContext {
+	s := m.jobSpans[j]
+	if m.jobSpans != nil {
+		delete(m.jobSpans, j)
+	}
+	return s
+}
 
 // QueueLen returns the number of pending jobs.
 func (m *BatchManager) QueueLen() int { return len(m.queue) }
@@ -152,23 +191,39 @@ func (m *BatchManager) Submit(j *Job) error {
 	if j.State() != Unsubmitted {
 		return fmt.Errorf("%w: submit in %v", ErrBadState, j.State())
 	}
+	var span obs.SpanContext
+	if m.tr != nil {
+		span = m.tr.Begin("gram.job",
+			obs.String("mgr", m.name), obs.String("job", j.ID),
+			obs.Int("count", j.Count()))
+	}
 	wall, err := j.MaxWall()
 	if err != nil {
 		j.FailReason = err
 		j.transition(Failed)
+		m.cFailed.Inc()
+		span.End(obs.Err(err))
 		return err
 	}
 	if j.Count() > m.Slots {
 		j.FailReason = fmt.Errorf("%w: %d > %d", ErrTooManySlots, j.Count(), m.Slots)
 		j.transition(Failed)
+		m.cFailed.Inc()
+		span.End(obs.Err(j.FailReason))
 		return j.FailReason
 	}
 	if m.MaxQueue > 0 && len(m.queue) >= m.MaxQueue {
 		j.FailReason = ErrQueueFull
 		j.transition(Failed)
+		m.cFailed.Inc()
+		span.End(obs.Err(ErrQueueFull))
 		return ErrQueueFull
 	}
 	j.Submitted = m.eng.Now()
+	m.cSubmitted.Inc()
+	if m.tr != nil {
+		m.jobSpans[j] = span
+	}
 
 	// A job naming a reservation claims it rather than queueing.
 	if resID := j.Req.StringDefault("reservation", ""); resID != "" {
@@ -219,11 +274,15 @@ func (m *BatchManager) claim(j *Job, resID string, wall time.Duration) error {
 	if !ok || r.claimed || now >= r.End {
 		j.FailReason = ErrNoReservation
 		j.transition(Failed)
+		m.cFailed.Inc()
+		m.jobSpan(j).End(obs.Err(ErrNoReservation))
 		return ErrNoReservation
 	}
 	if j.Count() > r.Count {
 		j.FailReason = fmt.Errorf("%w: job wants %d, reservation holds %d", ErrNoReservation, j.Count(), r.Count)
 		j.transition(Failed)
+		m.cFailed.Inc()
+		m.jobSpan(j).End(obs.Err(j.FailReason))
 		return j.FailReason
 	}
 	j.transition(Pending)
@@ -258,11 +317,15 @@ func (m *BatchManager) start(j *Job, wall time.Duration) {
 	c := &commitment{start: now, end: now + wall, count: j.Count()}
 	m.running[j] = c
 	j.transition(Active)
+	m.cStarted.Inc()
+	m.hWait.Observe(j.WaitTime())
+	m.jobSpans[j].Event("gram.active", obs.Dur("wait", j.WaitTime()))
 	if j.Spec.ActualRun <= wall {
 		m.eng.Schedule(j.Spec.ActualRun, func() { m.finish(j, Done, nil) })
 	} else {
 		m.eng.Schedule(wall, func() {
 			m.WallKillN++
+			m.cWallKilled.Inc()
 			m.finish(j, Failed, fmt.Errorf("gram: %s exceeded wall limit %v", j.ID, wall))
 		})
 	}
@@ -277,8 +340,12 @@ func (m *BatchManager) finish(j *Job, to JobState, reason error) {
 	j.FailReason = reason
 	if to == Done {
 		m.CompletedN++
+		m.cDone.Inc()
+	} else {
+		m.cFailed.Inc()
 	}
 	j.transition(to)
+	m.jobSpan(j).End(obs.String("state", to.String()), obs.Err(reason))
 	m.kick()
 }
 
@@ -290,6 +357,10 @@ func (m *BatchManager) finish(j *Job, to JobState, reason error) {
 // already scheduled for crashed jobs become no-ops.
 func (m *BatchManager) Crash(reason error) {
 	m.CrashN++
+	m.cCrash.Inc()
+	if m.tr != nil {
+		m.tr.Event("gram.crash", obs.String("mgr", m.name), obs.Err(reason))
+	}
 	now := m.eng.Now()
 	queued := m.queue
 	m.queue = nil
@@ -297,6 +368,8 @@ func (m *BatchManager) Crash(reason error) {
 		j.Ended = now
 		j.FailReason = reason
 		j.transition(Failed)
+		m.cFailed.Inc()
+		m.jobSpan(j).End(obs.String("state", "failed"), obs.Err(reason))
 	}
 	running := make([]*Job, 0, len(m.running))
 	for j := range m.running {
@@ -308,6 +381,8 @@ func (m *BatchManager) Crash(reason error) {
 		j.Ended = now
 		j.FailReason = reason
 		j.transition(Failed)
+		m.cFailed.Inc()
+		m.jobSpan(j).End(obs.String("state", "failed"), obs.Err(reason))
 	}
 	m.reservations = make(map[string]*Reservation)
 	m.timer.Stop()
@@ -320,6 +395,8 @@ func (m *BatchManager) Cancel(j *Job) error {
 			m.queue = append(m.queue[:i], m.queue[i+1:]...)
 			j.Ended = m.eng.Now()
 			j.transition(Cancelled)
+			m.cCancelled.Inc()
+			m.jobSpan(j).End(obs.String("state", "cancelled"))
 			return nil
 		}
 	}
@@ -327,6 +404,8 @@ func (m *BatchManager) Cancel(j *Job) error {
 		delete(m.running, j)
 		j.Ended = m.eng.Now()
 		j.transition(Cancelled)
+		m.cCancelled.Inc()
+		m.jobSpan(j).End(obs.String("state", "cancelled"))
 		m.kick()
 		return nil
 	}
@@ -359,6 +438,7 @@ func (m *BatchManager) kick() {
 				if m.minFree(csNow, now, now+jw) >= j.Count() {
 					m.start(j, jw)
 					m.BackfilledN++
+					m.cBackfilled.Inc()
 					continue
 				}
 				rest = append(rest, j)

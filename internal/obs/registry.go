@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Counter is a monotonically increasing count. A nil *Counter (what a
+// nil tracer hands out) is valid and does nothing, so instrumented code
+// holds counters unconditionally and pays one branch when tracing is
+// off.
+type Counter struct {
+	Name string
+	n    uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.n++
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.n += n
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.n
+}
+
+// Counter returns (registering on first use) the named counter, or nil
+// when the tracer is nil.
+func (t *Tracer) Counter(name string) *Counter {
+	if t == nil {
+		return nil
+	}
+	c, ok := t.counters[name]
+	if !ok {
+		c = &Counter{Name: name}
+		t.counters[name] = c
+	}
+	return c
+}
+
+// Hist is a histogram of virtual-time durations (span latencies, queue
+// waits). A nil *Hist is valid and does nothing.
+type Hist struct {
+	Name string
+	s    metrics.Sample
+}
+
+// Observe records one duration.
+func (h *Hist) Observe(d time.Duration) {
+	if h != nil {
+		h.s.Add(d.Seconds())
+	}
+}
+
+// N returns the observation count (0 on nil).
+func (h *Hist) N() int {
+	if h == nil {
+		return 0
+	}
+	return h.s.N()
+}
+
+// Quantile returns the q-th quantile in seconds (0 on nil).
+func (h *Hist) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	return h.s.Quantile(q)
+}
+
+// Hist returns (registering on first use) the named histogram, or nil
+// when the tracer is nil.
+func (t *Tracer) Hist(name string) *Hist {
+	if t == nil {
+		return nil
+	}
+	h, ok := t.hists[name]
+	if !ok {
+		h = &Hist{Name: name}
+		t.hists[name] = h
+	}
+	return h
+}
+
+// GaugeFunc registers a named gauge backed by a callback (engine queue
+// depth, processed events, inventory levels). Gauges are pull-style:
+// nothing is recorded until SampleGauges snapshots them, so registering
+// a gauge never perturbs the event schedule.
+func (t *Tracer) GaugeFunc(name string, fn func() float64) {
+	if t == nil {
+		return
+	}
+	t.gaugeNames = append(t.gaugeNames, name)
+	t.gaugeFns = append(t.gaugeFns, fn)
+}
+
+// SampleGauges records one sample of every registered gauge at the
+// current virtual time, in registration order.
+func (t *Tracer) SampleGauges() {
+	if t == nil {
+		return
+	}
+	now := t.eng.Now()
+	for i, name := range t.gaugeNames {
+		t.log = append(t.log, rec{kind: recGauge, at: now, name: name, val: t.gaugeFns[i]()})
+	}
+}
+
+// BindEngine registers the kernel's own health gauges — event-queue
+// depth and processed-event count — on the tracer.
+func (t *Tracer) BindEngine() {
+	if t == nil {
+		return
+	}
+	eng := t.eng
+	t.GaugeFunc("engine.pending", func() float64 { return float64(eng.Pending()) })
+	t.GaugeFunc("engine.processed", func() float64 { return float64(eng.Processed()) })
+}
+
+// counterNames returns registered counter names, sorted for export.
+func (t *Tracer) counterNames() []string {
+	names := make([]string, 0, len(t.counters))
+	for name := range t.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// histNames returns registered histogram names, sorted for export.
+func (t *Tracer) histNames() []string {
+	names := make([]string, 0, len(t.hists))
+	for name := range t.hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

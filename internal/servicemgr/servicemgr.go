@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/broker"
 	"repro/internal/identity"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/vm"
 )
@@ -57,6 +58,19 @@ type Manager struct {
 	degraded      bool
 	degradedSince time.Duration
 	started       bool
+
+	// Observability handles (inert when no tracer is installed).
+	tr                     *obs.Tracer
+	cRedeploys, cFailovers *obs.Counter
+}
+
+// SetTracer installs an observability tracer. A nil tracer (the default)
+// keeps every instrumentation point inert.
+func (m *Manager) SetTracer(tr *obs.Tracer) {
+	m.tr = tr
+	m.cRedeploys = tr.Counter("svc.redeploys")
+	m.cFailovers = tr.Counter("svc.site_failures")
+	tr.GaugeFunc("svc."+m.cfg.Name+".running", func() float64 { return float64(m.Running()) })
 }
 
 // New builds a manager over an (already stocked) deployer.
@@ -77,6 +91,13 @@ func (m *Manager) Start() error {
 	if m.started {
 		return ErrAlreadyStarted
 	}
+	var span obs.SpanContext
+	if m.tr != nil {
+		span = m.tr.Begin("svc.start",
+			obs.String("service", m.cfg.Name), obs.Int("target", m.cfg.Target))
+	}
+	restore := m.tr.EnterScope(span)
+	defer restore()
 	m.started = true
 	for _, site := range m.cfg.Candidates {
 		if len(m.active) >= m.cfg.Target {
@@ -86,8 +107,11 @@ func (m *Manager) Start() error {
 	}
 	m.accountStrength()
 	if len(m.active) == 0 {
-		return fmt.Errorf("servicemgr: %s could not reach any site", m.cfg.Name)
+		err := fmt.Errorf("servicemgr: %s could not reach any site", m.cfg.Name)
+		span.End(obs.Err(err))
+		return err
 	}
+	span.End(obs.Int("deployed", len(m.active)))
 	return nil
 }
 
@@ -153,6 +177,14 @@ func (m *Manager) closeAccounting() {
 // stock) takes its place. Returns the replacement site, or an error when
 // the service must run degraded.
 func (m *Manager) SiteFailed(site string) (string, error) {
+	var span obs.SpanContext
+	if m.tr != nil {
+		span = m.tr.Begin("svc.site_failed",
+			obs.String("service", m.cfg.Name), obs.String("site", site))
+	}
+	restore := m.tr.EnterScope(span)
+	defer restore()
+	m.cFailovers.Inc()
 	m.downAt[site] = m.eng.Now()
 	if slice, ok := m.active[site]; ok {
 		slice.StopAll()
@@ -174,10 +206,13 @@ func (m *Manager) SiteFailed(site string) (string, error) {
 		}
 		if m.tryDeploy(cand) {
 			m.RedeployN++
+			m.cRedeploys.Inc()
 			m.accountStrength()
+			span.End(obs.String("replacement", cand))
 			return cand, nil
 		}
 	}
+	span.End(obs.Err(ErrNoSpareSites))
 	return "", ErrNoSpareSites
 }
 
@@ -194,6 +229,12 @@ func (m *Manager) Reconcile() int {
 	if !m.started {
 		return 0
 	}
+	var span obs.SpanContext
+	if m.tr != nil {
+		span = m.tr.Begin("svc.reconcile", obs.String("service", m.cfg.Name))
+	}
+	restore := m.tr.EnterScope(span)
+	defer restore()
 	for _, site := range m.ActiveSites() {
 		if m.active[site].Running() == 0 {
 			m.active[site].StopAll()
@@ -216,10 +257,12 @@ func (m *Manager) Reconcile() int {
 		}
 		if m.tryDeploy(cand) {
 			m.RedeployN++
+			m.cRedeploys.Inc()
 			n++
 		}
 	}
 	m.accountStrength()
+	span.End(obs.Int("deployed", n))
 	return n
 }
 

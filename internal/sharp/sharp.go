@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/capability"
 	"repro/internal/identity"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -233,6 +234,11 @@ type Authority struct {
 
 	// IssuedN, RedeemOK, RedeemConflict count outcomes for E9.
 	IssuedN, RedeemOK, RedeemConflict int
+
+	// Observability handles (inert when no tracer is installed).
+	tr                                     *obs.Tracer
+	cIssued, cIssueRejected                *obs.Counter
+	cRedeemOK, cRedeemConflict, cRedeemRej *obs.Counter
 }
 
 // LeaseRecord is the authority-side audit entry for one granted lease: the
@@ -271,6 +277,17 @@ func NewAuthority(eng *sim.Engine, site string, signer *identity.Principal, nm *
 // Key returns the authority's public key (peers pin this).
 func (a *Authority) Key() ed25519.PublicKey { return a.signer.Public() }
 
+// SetTracer installs an observability tracer. A nil tracer (the default)
+// keeps every instrumentation point inert.
+func (a *Authority) SetTracer(tr *obs.Tracer) {
+	a.tr = tr
+	a.cIssued = tr.Counter("sharp.tickets.issued")
+	a.cIssueRejected = tr.Counter("sharp.tickets.rejected")
+	a.cRedeemOK = tr.Counter("sharp.redeem.ok")
+	a.cRedeemConflict = tr.Counter("sharp.redeem.conflict")
+	a.cRedeemRej = tr.Counter("sharp.redeem.rejected")
+}
+
 // SetClockSkew skews the authority's validity clock: Redeem verifies
 // tickets at Now()+d instead of Now(). Fault injection uses it to model a
 // site whose certificate clock has drifted — tickets reject as expired
@@ -292,12 +309,24 @@ func (a *Authority) LeaseRecords() []LeaseRecord {
 // IssueTicket mints a root ticket for a holder, bounded by the oversell
 // budget: sum of issued soft claims <= capacity × OversellFactor.
 func (a *Authority) IssueTicket(holderName string, holderKey ed25519.PublicKey, typ capability.ResourceType, amount float64, notBefore, notAfter time.Duration) (*Ticket, error) {
+	var span obs.SpanContext
+	if a.tr != nil {
+		span = a.tr.Begin("sharp.issue",
+			obs.String("site", a.Site), obs.String("holder", holderName),
+			obs.String("type", typ.String()), obs.Float("amount", amount))
+	}
 	if amount <= 0 || notAfter <= notBefore {
-		return nil, fmt.Errorf("sharp: bad issue request (amount %v, interval [%v,%v))", amount, notBefore, notAfter)
+		a.cIssueRejected.Inc()
+		err := fmt.Errorf("sharp: bad issue request (amount %v, interval [%v,%v))", amount, notBefore, notAfter)
+		span.End(obs.Err(err))
+		return nil, err
 	}
 	budget := a.capacity[typ] * a.OversellFactor
 	if a.issued[typ]+amount > budget {
-		return nil, fmt.Errorf("%w: issued %.1f + %.1f > %.1f", ErrOverIssue, a.issued[typ], amount, budget)
+		a.cIssueRejected.Inc()
+		err := fmt.Errorf("%w: issued %.1f + %.1f > %.1f", ErrOverIssue, a.issued[typ], amount, budget)
+		span.End(obs.Err(err))
+		return nil, err
 	}
 	a.issued[typ] += amount
 	a.serial++
@@ -315,6 +344,8 @@ func (a *Authority) IssueTicket(holderName string, holderKey ed25519.PublicKey, 
 	}
 	c.Sig = a.signer.Sign(c.tbs())
 	a.IssuedN++
+	a.cIssued.Inc()
+	span.End(obs.Int("serial", int(a.serial)))
 	return &Ticket{Chain: []Claim{c}}, nil
 }
 
@@ -322,16 +353,33 @@ func (a *Authority) IssueTicket(holderName string, holderKey ed25519.PublicKey, 
 // spends, then try to commit hard capacity at the node manager. Failure
 // to commit is the oversubscription conflict of Figure 2's step 5-6.
 func (a *Authority) Redeem(t *Ticket) (*Lease, error) {
+	var span obs.SpanContext
+	if a.tr != nil {
+		attrs := []obs.Attr{obs.String("site", a.Site)}
+		if leaf := t.Leaf(); leaf != nil {
+			attrs = append(attrs,
+				obs.String("holder", leaf.Holder),
+				obs.String("type", leaf.Type.String()),
+				obs.Float("amount", leaf.Amount))
+		}
+		span = a.tr.Begin("sharp.redeem", attrs...)
+	}
 	now := a.eng.Now() + a.skew
 	if t.Root() != nil && t.Root().Site != a.Site {
+		a.cRedeemRej.Inc()
+		span.End(obs.Err(ErrWrongSite))
 		return nil, ErrWrongSite
 	}
 	if err := t.Verify(a.signer.Public(), now); err != nil {
+		a.cRedeemRej.Inc()
+		span.End(obs.Err(err))
 		return nil, err
 	}
 	leaf := t.Leaf()
 	h := leaf.Hash()
 	if a.redeemed[h] {
+		a.cRedeemRej.Inc()
+		span.End(obs.Err(ErrDoubleSpend))
 		return nil, ErrDoubleSpend
 	}
 	cap_, err := a.nm.Mint(capability.MintRequest{
@@ -343,7 +391,10 @@ func (a *Authority) Redeem(t *Ticket) (*Lease, error) {
 	})
 	if err != nil {
 		a.RedeemConflict++
-		return nil, fmt.Errorf("%w: %v", ErrConflict, err)
+		a.cRedeemConflict.Inc()
+		err = fmt.Errorf("%w: %v", ErrConflict, err)
+		span.End(obs.Err(err))
+		return nil, err
 	}
 	a.redeemed[h] = true
 	a.leaseSeq++
@@ -366,6 +417,8 @@ func (a *Authority) Redeem(t *Ticket) (*Lease, error) {
 	}
 	a.records = append(a.records, rec)
 	a.recordOf[lease.ID] = rec
+	a.cRedeemOK.Inc()
+	span.End(obs.String("lease", lease.ID))
 	return lease, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -49,6 +50,7 @@ type Flow struct {
 	aborted   bool
 	netstream int             // total streams ever created, for naming
 	hosts     map[string]bool // endpoints and relays, for failure kills
+	span      obs.SpanContext // open while the flow is in progress
 }
 
 type pathInfo struct {
@@ -124,6 +126,12 @@ func (n *Network) StartFlow(from, to string, bytes float64, opts FlowOpts, onDon
 	}
 	n.active[f] = struct{}{}
 	src.BytesSent += bytes
+	n.cFlowStart.Inc()
+	if n.tr != nil {
+		f.span = n.tr.Begin("net.flow",
+			obs.String("from", from), obs.String("to", to),
+			obs.Float("bytes", bytes), obs.Int("streams", opts.Streams))
+	}
 
 	per := bytes / float64(opts.Streams)
 	for i := 0; i < opts.Streams; i++ {
@@ -247,6 +255,8 @@ func (f *Flow) streamDone(c *sim.FluidConsumer) {
 		f.done = true
 		f.ended = f.net.eng.Now()
 		delete(f.net.active, f)
+		f.net.cFlowDone.Inc()
+		f.span.End()
 		if f.OnDone != nil {
 			f.OnDone(f)
 		}
@@ -288,6 +298,8 @@ func (f *Flow) fail(err error) {
 	if f.done || f.aborted {
 		return
 	}
+	f.net.cFlowFail.Inc()
+	f.span.Annotate(obs.Err(err))
 	f.Abort()
 	if f.OnFail != nil {
 		f.OnFail(f, err)
@@ -300,6 +312,7 @@ func (f *Flow) Abort() {
 		return
 	}
 	f.aborted = true
+	f.span.End(obs.String("aborted", "true"))
 	delete(f.net.active, f)
 	for _, c := range f.order {
 		f.net.flows.Remove(c)

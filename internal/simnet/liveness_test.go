@@ -1,0 +1,122 @@
+package simnet
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestCallTimeoutEventCancelled is the regression test for the timeout
+// leak: a completed Call must cancel its pending timeout event, so the
+// heap holds O(in-flight) events, not O(total calls). Before the fix,
+// 10k completed calls with 30s timeouts left 10k dead events queued.
+func TestCallTimeoutEventCancelled(t *testing.T) {
+	eng, n := testNet(t, 1)
+	n.Host("b1").Handle("echo", func(_ string, req any) (any, error) { return req, nil })
+	const calls = 10000
+	completed := 0
+	for i := 0; i < calls; i++ {
+		n.Call("a1", "b1", "echo", i, 30*time.Second, func(_ any, err error) {
+			if err != nil {
+				t.Errorf("call failed: %v", err)
+			}
+			completed++
+		})
+		eng.Run() // drain: the call completes long before its timeout
+	}
+	if completed != calls {
+		t.Fatalf("completed %d of %d calls", completed, calls)
+	}
+	// The queue is drained, so nothing at all should be pending; the bound
+	// is deliberately loose to only catch O(total-calls) leaks.
+	if p := eng.Pending(); p > 16 {
+		t.Errorf("Pending() = %d after %d completed calls, want O(in-flight)", p, calls)
+	}
+}
+
+// TestCallTimeoutStillFiresOnLoss checks the cancel does not break the
+// timeout path itself: a lost request must still surface ErrTimeout.
+func TestCallTimeoutStillFiresOnLoss(t *testing.T) {
+	eng, n := testNet(t, 1)
+	n.SetLoss("A", "B", 0.999999)
+	n.Host("b1").Handle("svc", func(string, any) (any, error) { return "ok", nil })
+	var err error
+	n.Call("a1", "b1", "svc", nil, 200*time.Millisecond, func(_ any, e error) { err = e })
+	eng.Run()
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if p := eng.Pending(); p != 0 {
+		t.Errorf("Pending() = %d after timeout, want 0", p)
+	}
+}
+
+// TestCallNoHandlerCrashedCaller is the regression test for the
+// asymmetric refusal path: a caller that crashes mid-call must not
+// receive "connection refused", and the refusal reply must be counted
+// like any other response message.
+func TestCallNoHandlerCrashedCaller(t *testing.T) {
+	eng, n := testNet(t, 1)
+	got := false
+	n.Call("a1", "b1", "nosuch", nil, 0, func(_ any, err error) {
+		got = true
+	})
+	// Crash the caller while the request (or the refusal) is in flight.
+	eng.RunUntil(40 * time.Millisecond)
+	n.SetDown("a1", true)
+	eng.Run()
+	if got {
+		t.Fatal("crashed caller received a reply")
+	}
+	if sent := n.Host("b1").MsgsSent; sent != 1 {
+		t.Errorf("refusing host MsgsSent = %d, want 1 (refusal is a control message)", sent)
+	}
+	if recv := n.Host("a1").MsgsRecv; recv != 0 {
+		t.Errorf("crashed caller MsgsRecv = %d, want 0", recv)
+	}
+}
+
+// TestCallNoHandlerCounted: on the happy (alive-caller) path the refusal
+// must be accounted symmetrically with a normal response.
+func TestCallNoHandlerCounted(t *testing.T) {
+	eng, n := testNet(t, 1)
+	var err error
+	n.Call("a1", "b1", "nosuch", nil, time.Second, func(_ any, e error) { err = e })
+	eng.Run()
+	if !errors.Is(err, ErrNoHandler) {
+		t.Fatalf("err = %v, want ErrNoHandler", err)
+	}
+	if recv := n.Host("a1").MsgsRecv; recv != 1 {
+		t.Errorf("caller MsgsRecv = %d, want 1", recv)
+	}
+}
+
+// TestSendPartitionMidFlight is the regression test for send-time-only
+// partition checks: a one-way message already in flight must be severed
+// by a cut that lands before its arrival, like data flows are.
+func TestSendPartitionMidFlight(t *testing.T) {
+	eng, n := testNet(t, 1)
+	delivered := false
+	n.Host("b1").Handle("svc", func(string, any) (any, error) {
+		delivered = true
+		return nil, nil
+	})
+	n.Send("a1", "b1", "svc", "payload") // 31ms in flight
+	eng.RunUntil(10 * time.Millisecond)
+	n.Partition("A", "B", true)
+	eng.Run()
+	if delivered {
+		t.Fatal("message delivered across a partition that landed mid-flight")
+	}
+	if recv := n.Host("b1").MsgsRecv; recv != 0 {
+		t.Errorf("MsgsRecv = %d, want 0", recv)
+	}
+
+	// Healing the cut restores delivery for new sends.
+	n.Partition("A", "B", false)
+	n.Send("a1", "b1", "svc", "again")
+	eng.Run()
+	if !delivered {
+		t.Fatal("message not delivered after heal")
+	}
+}

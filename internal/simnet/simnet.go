@@ -21,6 +21,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -89,6 +90,17 @@ type Network struct {
 
 	// Trace, when non-nil, receives a line per control-plane delivery.
 	Trace func(format string, args ...any)
+
+	// tr, when non-nil, records causal spans and counters for every
+	// control-plane message and data flow. All counter handles below are
+	// nil (and inert) when tracing is off, so the hot paths pay only a
+	// nil check.
+	tr                                   *obs.Tracer
+	cSent, cRecv                         *obs.Counter
+	cDropLoss, cDropPartition, cDropDown *obs.Counter
+	cCallTimeout, cCallRefused           *obs.Counter
+	cFlowStart, cFlowDone, cFlowFail     *obs.Counter
+	hCallRTT                             *obs.Hist
 }
 
 // New returns an empty network bound to the engine.
@@ -109,6 +121,39 @@ func New(eng *sim.Engine) *Network {
 
 // Engine returns the simulation engine the network is bound to.
 func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// SetTracer installs (or, with nil, removes) the observability layer:
+// control-plane sends and calls become causally linked spans, and the
+// message/flow/drop counters register on the tracer's registry.
+func (n *Network) SetTracer(tr *obs.Tracer) {
+	n.tr = tr
+	n.cSent = tr.Counter("net.msgs_sent")
+	n.cRecv = tr.Counter("net.msgs_recv")
+	n.cDropLoss = tr.Counter("net.drop.loss")
+	n.cDropPartition = tr.Counter("net.drop.partition")
+	n.cDropDown = tr.Counter("net.drop.host_down")
+	n.cCallTimeout = tr.Counter("net.call.timeout")
+	n.cCallRefused = tr.Counter("net.call.refused")
+	n.cFlowStart = tr.Counter("net.flows.started")
+	n.cFlowDone = tr.Counter("net.flows.done")
+	n.cFlowFail = tr.Counter("net.flows.failed")
+	n.hCallRTT = tr.Hist("net.call.rtt")
+}
+
+// Tracer returns the installed tracer (nil when tracing is off).
+func (n *Network) Tracer() *obs.Tracer { return n.tr }
+
+// dropCounter maps a deliverability error to its drop counter.
+func (n *Network) dropCounter(err error) *obs.Counter {
+	switch {
+	case errors.Is(err, ErrPartitioned):
+		return n.cDropPartition
+	case errors.Is(err, ErrHostDown):
+		return n.cDropDown
+	default:
+		return nil
+	}
+}
 
 // AddSite registers a site at the given latency-space coordinates.
 func (n *Network) AddSite(name string, x, y float64) *Site {
@@ -319,23 +364,50 @@ func (n *Network) Send(from, to, service string, msg any) {
 	a, b := n.hosts[from], n.hosts[to]
 	lat, err := n.deliverable(a, b)
 	if err != nil {
+		n.dropCounter(err).Inc()
 		return
 	}
+	var span obs.SpanContext
+	if n.tr != nil {
+		span = n.tr.Begin("net.send",
+			obs.String("from", from), obs.String("to", to), obs.String("svc", service))
+	}
 	a.MsgsSent++
+	n.cSent.Inc()
 	if n.rng.Float64() < n.Loss(a.Site, b.Site) {
+		n.cDropLoss.Inc()
+		span.End(obs.String("drop", "loss"))
 		return // dropped in flight
 	}
 	n.eng.Schedule(lat, func() {
-		if b.downFlag {
+		// Down-host and partition state are both rechecked at delivery
+		// time: a cut that lands while the message is in flight severs it,
+		// exactly as it severs in-flight data flows.
+		if b.downFlag || n.Partitioned(a.Site, b.Site) {
+			if b.downFlag {
+				n.cDropDown.Inc()
+				span.End(obs.String("drop", "host_down"))
+			} else {
+				n.cDropPartition.Inc()
+				span.End(obs.String("drop", "partition"))
+			}
 			return
 		}
 		b.MsgsRecv++
+		n.cRecv.Inc()
 		if n.Trace != nil {
 			n.Trace("%v  %s -> %s  %s", n.eng.Now(), from, to, service)
 		}
 		if fn, ok := b.handlers[service]; ok {
-			fn(from, msg) // response discarded for one-way sends
+			// The handler runs under the delivery span, so spans it opens
+			// (and messages it sends) are causal children of this message.
+			if n.tr != nil {
+				n.tr.Scope(span, func() { fn(from, msg) })
+			} else {
+				fn(from, msg) // response discarded for one-way sends
+			}
 		}
+		span.End()
 	})
 }
 
@@ -350,48 +422,97 @@ func (n *Network) Call(from, to, service string, req any, timeout time.Duration,
 	a, b := n.hosts[from], n.hosts[to]
 	lat, err := n.deliverable(a, b)
 	if err != nil {
+		n.dropCounter(err).Inc()
 		n.eng.Schedule(0, func() { done(nil, err) })
 		return
 	}
+	var span obs.SpanContext
+	start := n.eng.Now()
+	if n.tr != nil {
+		span = n.tr.Begin("net.call",
+			obs.String("from", from), obs.String("to", to), obs.String("svc", service))
+	}
 	finished := false
+	var timeoutEv *sim.Event
 	finish := func(resp any, err error) {
 		if finished {
 			return
 		}
 		finished = true
+		// Cancel the pending timeout so completed calls do not leave dead
+		// events in the heap (Cancel on the fired timeout is a no-op).
+		n.eng.Cancel(timeoutEv)
+		if n.tr != nil {
+			switch {
+			case errors.Is(err, ErrTimeout):
+				n.cCallTimeout.Inc()
+			case errors.Is(err, ErrNoHandler):
+				n.cCallRefused.Inc()
+			}
+			n.hCallRTT.Observe(n.eng.Now() - start)
+			span.End(obs.Err(err))
+		}
 		done(resp, err)
 	}
 	if timeout > 0 {
-		n.eng.Schedule(timeout, func() { finish(nil, ErrTimeout) })
+		timeoutEv = n.eng.Schedule(timeout, func() { finish(nil, ErrTimeout) })
 	}
 	a.MsgsSent++
+	n.cSent.Inc()
 	if n.rng.Float64() < n.Loss(a.Site, b.Site) {
+		n.cDropLoss.Inc()
 		return // request lost; timeout will fire
 	}
 	n.eng.Schedule(lat, func() {
 		if b.downFlag {
+			n.cDropDown.Inc()
 			return
 		}
 		b.MsgsRecv++
+		n.cRecv.Inc()
 		if n.Trace != nil {
 			n.Trace("%v  %s -> %s  %s (call)", n.eng.Now(), from, to, service)
 		}
 		fn, ok := b.handlers[service]
 		if !ok {
-			// "Connection refused" is observable, unlike loss.
-			n.eng.Schedule(lat, func() { finish(nil, ErrNoHandler) })
+			// "Connection refused" is observable, unlike loss, so no loss
+			// draw — but the reply is still a control message travelling
+			// back, so it is counted and a crashed caller never sees it.
+			b.MsgsSent++
+			n.cSent.Inc()
+			n.eng.Schedule(lat, func() {
+				if a.downFlag {
+					n.cDropDown.Inc()
+					return
+				}
+				a.MsgsRecv++
+				n.cRecv.Inc()
+				finish(nil, ErrNoHandler)
+			})
 			return
 		}
-		resp, herr := fn(from, req)
+		// The handler runs under the call span: spans it opens become
+		// request→handler→response children of this RPC.
+		var resp any
+		var herr error
+		if n.tr != nil {
+			n.tr.Scope(span, func() { resp, herr = fn(from, req) })
+		} else {
+			resp, herr = fn(from, req)
+		}
 		b.MsgsSent++
+		n.cSent.Inc()
 		if n.rng.Float64() < n.Loss(a.Site, b.Site) {
+			n.cDropLoss.Inc()
 			return // response lost
 		}
 		n.eng.Schedule(lat, func() {
 			if a.downFlag {
+				n.cDropDown.Inc()
 				return
 			}
 			a.MsgsRecv++
+			n.cRecv.Inc()
 			finish(resp, herr)
 		})
 	})
