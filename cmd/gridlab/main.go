@@ -7,6 +7,7 @@
 //
 //	gridlab [-seed N] <table1|fig1|fig2|scale|proxylife|delegation|allocation|hetero|datagrid|oversub|chaos|all>
 //	gridlab chaos [-seed N] [-profile quiet|crashes|partitions|mixed] [-sweep N]
+//	             [-resilience] [-lease D] [-reconcile D]
 //	gridlab trace <fig2|delegation|chaos> [-seed N] [-o FILE] [-format jsonl|chrome|timeline]
 package main
 
@@ -23,11 +24,14 @@ import (
 )
 
 var (
-	seed     = flag.Int64("seed", 42, "simulation seed (runs are deterministic per seed)")
-	profile  = flag.String("profile", "mixed", "chaos fault profile (quiet|crashes|partitions|mixed)")
-	sweep    = flag.Int("sweep", 0, "chaos: run N seeds x all profiles instead of one run")
-	traceOut = flag.String("o", "", "trace: output file (default stdout)")
-	traceFmt = flag.String("format", "jsonl", "trace: export format (jsonl|chrome|timeline)")
+	seed       = flag.Int64("seed", 42, "simulation seed (runs are deterministic per seed)")
+	profile    = flag.String("profile", "mixed", "chaos fault profile (quiet|crashes|partitions|mixed)")
+	sweep      = flag.Int("sweep", 0, "chaos: run N seeds x all profiles instead of one run")
+	resilience = flag.Bool("resilience", false, "chaos: enable the retry/breaker/keepalive kit")
+	leaseTerm  = flag.Duration("lease", 0, "chaos: service lease term (0 = one lease outliving the run)")
+	reconcile  = flag.Duration("reconcile", 0, "chaos: periodic repair-pass interval (0 = event-driven only)")
+	traceOut   = flag.String("o", "", "trace: output file (default stdout)")
+	traceFmt   = flag.String("format", "jsonl", "trace: export format (jsonl|chrome|timeline)")
 )
 
 // traceScenario is the positional operand of `gridlab trace`.
@@ -107,6 +111,9 @@ func commands() []command {
 		}},
 		{"chaos", "fault injection: seed-driven faults + cross-stack invariant audit", func() error {
 			cfg := faultlab.DefaultChaosConfig()
+			cfg.Resilience = *resilience
+			cfg.Lease = *leaseTerm
+			cfg.ReconcileEvery = *reconcile
 			if *sweep > 0 {
 				res := faultlab.Sweep(*seed, *sweep, faultlab.Profiles(), cfg)
 				fmt.Print(res)

@@ -21,6 +21,8 @@ import (
 	"repro/internal/gram"
 	"repro/internal/identity"
 	"repro/internal/mds"
+	"repro/internal/obs"
+	"repro/internal/resilience"
 	"repro/internal/simnet"
 )
 
@@ -42,6 +44,15 @@ type Matchmaker struct {
 	// Timeout bounds each RPC leg.
 	Timeout time.Duration
 
+	// Retry, when set, routes submissions through deterministic
+	// backoff-and-retry for transport faults (refusals stay final).
+	Retry *resilience.Executor
+	// Breakers, when set, gates candidates: a gatekeeper whose breaker is
+	// not ready is skipped without an attempt. SiteOf maps a gatekeeper
+	// host to its breaker key (nil keys by host name).
+	Breakers *resilience.BreakerSet
+	SiteOf   func(gatekeeper string) string
+
 	// heldProxies are the delegated credentials the broker currently
 	// stores — the compromise blast radius of this design.
 	heldProxies []*identity.Credential
@@ -54,6 +65,19 @@ type Matchmaker struct {
 // HeldProxies returns the delegated credentials the broker is storing —
 // each one lets a thief act as that user until its NotAfter.
 func (m *Matchmaker) HeldProxies() []*identity.Credential { return m.heldProxies }
+
+// breakerFor maps a gatekeeper host to its site breaker (nil when no set
+// is installed).
+func (m *Matchmaker) breakerFor(gk string) *resilience.Breaker {
+	if m.Breakers == nil {
+		return nil
+	}
+	key := gk
+	if m.SiteOf != nil {
+		key = m.SiteOf(gk)
+	}
+	return m.Breakers.For(key)
+}
 
 // Placement reports where a job landed.
 type Placement struct {
@@ -99,12 +123,21 @@ func (m *Matchmaker) tryNext(proxy *identity.Credential, spec gram.JobSpec, gks 
 		return
 	}
 	gk := gks[0]
+	br := m.breakerFor(gk)
+	if !br.Ready() {
+		// The breaker has written this site off; spend the attempt on the
+		// next candidate instead of a known-dead gatekeeper.
+		m.tryNext(proxy, spec, gks[1:], done)
+		return
+	}
 	m.Hops++
-	gram.Submit(m.Net, m.Host, gk, gram.SubmitRequest{Cred: proxy, Spec: spec}, m.Timeout,
+	gram.SubmitWithRetry(m.Retry, br, m.Net, m.Host, gk,
+		gram.SubmitRequest{Cred: proxy, Spec: spec}, m.Timeout,
 		func(reply gram.SubmitReply, err error) {
 			if err != nil {
-				// Site refused (policy, auth, capacity): try the next —
-				// exactly why identity delegation needs per-site retries.
+				// Site refused (policy, auth, capacity) or stayed dark
+				// through the retry budget: try the next — exactly why
+				// identity delegation needs per-site retries.
 				m.tryNext(proxy, spec, gks[1:], done)
 				return
 			}
@@ -122,10 +155,27 @@ type CoAllocator struct {
 	Host    string
 	Timeout time.Duration
 
-	// CoAllocN / AbortN count outcomes.
-	CoAllocN, AbortN int
+	// Retry, when set, routes the abort-path cancels through
+	// deterministic retry so a single dropped message no longer orphans a
+	// job at a live site.
+	Retry *resilience.Executor
+
+	// CoAllocN / AbortN count outcomes; CancelLostN counts abort-path
+	// cancels that never reached the site (orphaned remote jobs).
+	CoAllocN, AbortN, CancelLostN int
 	// Hops counts control messages initiated.
 	Hops int
+
+	tr                    *obs.Tracer
+	cCancels, cCancelLost *obs.Counter
+}
+
+// SetTracer installs an observability tracer. A nil tracer (the default)
+// keeps every instrumentation point inert.
+func (c *CoAllocator) SetTracer(tr *obs.Tracer) {
+	c.tr = tr
+	c.cCancels = tr.Counter("broker.coalloc.cancels")
+	c.cCancelLost = tr.Counter("broker.coalloc.cancels_lost")
 }
 
 // Part describes one component of a co-allocation.
@@ -158,8 +208,7 @@ func (c *CoAllocator) CoAllocate(proxy *identity.Credential, parts []Part, done 
 		c.AbortN++
 		for _, p := range placements {
 			if p.JobID != "" {
-				c.Hops++
-				c.Net.Call(c.Host, p.Gatekeeper, gram.SvcCancel, p.JobID, c.Timeout, func(any, error) {})
+				c.cancelPart(p)
 			}
 		}
 		done(nil, fmt.Errorf("%w: %v", ErrPartialFail, failed))
@@ -179,4 +228,20 @@ func (c *CoAllocator) CoAllocate(proxy *identity.Credential, parts []Part, done 
 				finishOne()
 			})
 	}
+}
+
+// cancelPart aborts one accepted part. The cancel's outcome is tracked:
+// a cancel that never lands (after retries, when an executor is wired)
+// leaves the remote job running and charging the user, so it is counted
+// rather than discarded.
+func (c *CoAllocator) cancelPart(p Placement) {
+	c.Hops++
+	c.cCancels.Inc()
+	gram.CancelWithRetry(c.Retry, nil, c.Net, c.Host, p.Gatekeeper, p.JobID, c.Timeout,
+		func(_ gram.StatusReply, err error) {
+			if err != nil {
+				c.CancelLostN++
+				c.cCancelLost.Inc()
+			}
+		})
 }

@@ -247,7 +247,7 @@ func TestDeployerSliceAcrossSites(t *testing.T) {
 	if err := d.Stock(4, 0, time.Hour, "A", "B", "C"); err != nil {
 		t.Fatal(err)
 	}
-	slice, err := d.DeploySlice("cdn", sm, 1, 0, time.Hour, []string{"A", "B", "C"})
+	slice, err := d.DeploySliceAtomic("cdn", sm, 1, 0, time.Hour, []string{"A", "B", "C"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,7 +292,7 @@ func TestDeployerRollbackOnPartialFailure(t *testing.T) {
 	if err := d.Stock(0.5, 0, time.Hour, "B"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.DeploySlice("svc", sm, 1, 0, time.Hour, []string{"A", "B"}); err == nil {
+	if _, err := d.DeploySliceAtomic("svc", sm, 1, 0, time.Hour, []string{"A", "B"}); err == nil {
 		t.Fatal("partial deploy succeeded")
 	}
 	// Tickets are soft claims (no NM commitment); the one lease that was

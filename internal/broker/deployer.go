@@ -9,14 +9,25 @@ import (
 	"repro/internal/capability"
 	"repro/internal/identity"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 	"repro/internal/sharp"
 	"repro/internal/silk"
 	"repro/internal/vm"
 )
 
-// ErrNoTickets reports that the broker could not supply resources for a
-// requested site.
-var ErrNoTickets = errors.New("broker: no tickets available for site")
+// Deployer errors.
+var (
+	// ErrNoTickets reports that the broker could not supply resources for
+	// a requested site.
+	ErrNoTickets = errors.New("broker: no tickets available for site")
+	// ErrSiteUnreachable reports a deploy/renew refused because the
+	// target site is currently down or partitioned (per the SiteDown
+	// hook). It is the transient failure that charges the site's breaker.
+	ErrSiteUnreachable = errors.New("broker: site unreachable")
+	// ErrAllSitesFailed reports a deployment where not a single site
+	// succeeded.
+	ErrAllSitesFailed = errors.New("broker: no site deployed")
+)
 
 // SiteRuntime bundles one PlanetLab site's local machinery: the SHARP
 // authority, its node manager, and the node the VMs land on. (One node
@@ -36,16 +47,32 @@ type Deployer struct {
 	Agent *sharp.Agent
 	Sites map[string]*SiteRuntime
 
+	// SiteDown, when set, reports whether a site is currently crashed or
+	// partitioned away; deploy and renew attempts against such a site
+	// fail with ErrSiteUnreachable (and charge its breaker) instead of
+	// silently succeeding against the in-process authority. core wires
+	// this to the federation's fault surface.
+	SiteDown func(site string) bool
+	// Breakers, when set, gates per-site attempts: a site whose breaker
+	// is open is skipped without an attempt. All layers of one federation
+	// share the set, so they agree on a site's health.
+	Breakers *resilience.BreakerSet
+
 	// Hops counts ticket/lease protocol steps for E5 symmetry with the
 	// Matchmaker's counter.
 	Hops int
-	// DeployedN / FailedN count slice deployments.
-	DeployedN, FailedN int
+	// DeployedN counts fully successful slice deployments; FailedN counts
+	// deployments where at least one site failed (including degraded
+	// partial successes). RenewedN / RenewFailN count lease renewals.
+	DeployedN, FailedN   int
+	RenewedN, RenewFailN int
 
 	// Observability handles (inert when no tracer is installed).
 	tr                     *obs.Tracer
 	cDeployOK, cDeployFail *obs.Counter
 	cStocked               *obs.Counter
+	cSkipped               *obs.Counter
+	cRenewOK, cRenewFail   *obs.Counter
 }
 
 // SetTracer installs an observability tracer. A nil tracer (the default)
@@ -55,10 +82,43 @@ func (d *Deployer) SetTracer(tr *obs.Tracer) {
 	d.cDeployOK = tr.Counter("broker.deploys.ok")
 	d.cDeployFail = tr.Counter("broker.deploys.failed")
 	d.cStocked = tr.Counter("broker.tickets.stocked")
+	d.cSkipped = tr.Counter("broker.sites.skipped")
+	d.cRenewOK = tr.Counter("broker.renews.ok")
+	d.cRenewFail = tr.Counter("broker.renews.failed")
+}
+
+// reachable gates one attempt against a site: the breaker must admit it
+// and the site must not be known-down. A down site charges its breaker.
+func (d *Deployer) reachable(site string) error {
+	br := d.Breakers.For(site)
+	if !br.Allow() {
+		d.cSkipped.Inc()
+		return fmt.Errorf("%w: %s", resilience.ErrBreakerOpen, site)
+	}
+	if d.SiteDown != nil && d.SiteDown(site) {
+		br.Failure()
+		return fmt.Errorf("%w: %s", ErrSiteUnreachable, site)
+	}
+	br.Success()
+	return nil
+}
+
+// Probe runs the connectivity gate against a site without deploying
+// anything. After an outage heals it is how a repair pass gives a
+// tripped breaker its half-open trial — otherwise a site the service no
+// longer needs would stay written off forever.
+func (d *Deployer) Probe(site string) error {
+	if _, ok := d.Sites[site]; !ok {
+		return fmt.Errorf("broker: unknown site %q", site)
+	}
+	return d.reachable(site)
 }
 
 // Stock pulls a ticket of `amount` CPU from each named site into the
 // agent's inventory (Figure 2 steps 1-2, amortized over many requests).
+// Stocking is best-effort per site: an unreachable or refusing site does
+// not block the others; the joined per-site errors come back (nil when
+// every site stocked).
 func (d *Deployer) Stock(amount float64, notBefore, notAfter time.Duration, sites ...string) error {
 	var span obs.SpanContext
 	if d.tr != nil {
@@ -68,25 +128,33 @@ func (d *Deployer) Stock(amount float64, notBefore, notAfter time.Duration, site
 	}
 	restore := d.tr.EnterScope(span)
 	defer restore()
+	var errs []error
 	for _, s := range sites {
-		rt, ok := d.Sites[s]
-		if !ok {
-			err := fmt.Errorf("broker: unknown site %q", s)
+		if err := d.stockSite(s, amount, notBefore, notAfter); err != nil {
 			span.Annotate(obs.Err(err))
-			return err
+			errs = append(errs, err)
 		}
-		d.Hops += 2 // request + grant
-		tk, err := rt.Authority.IssueTicket(d.Agent.Name, d.Agent.Key(), capability.CPU, amount, notBefore, notAfter)
-		if err != nil {
-			span.Annotate(obs.Err(err))
-			return err
-		}
-		if err := d.Agent.Acquire(tk); err != nil {
-			span.Annotate(obs.Err(err))
-			return err
-		}
-		d.cStocked.Inc()
 	}
+	return errors.Join(errs...)
+}
+
+func (d *Deployer) stockSite(site string, amount float64, notBefore, notAfter time.Duration) error {
+	rt, ok := d.Sites[site]
+	if !ok {
+		return fmt.Errorf("broker: unknown site %q", site)
+	}
+	if err := d.reachable(site); err != nil {
+		return err
+	}
+	d.Hops += 2 // request + grant
+	tk, err := rt.Authority.IssueTicket(d.Agent.Name, d.Agent.Key(), capability.CPU, amount, notBefore, notAfter)
+	if err != nil {
+		return err
+	}
+	if err := d.Agent.Acquire(tk); err != nil {
+		return err
+	}
+	d.cStocked.Inc()
 	return nil
 }
 
@@ -95,14 +163,44 @@ func (d *Deployer) Inventory(site string) float64 {
 	return d.Agent.Inventory(site, capability.CPU)
 }
 
+// SiteFailure records why one site of a deployment did not come up.
+type SiteFailure struct {
+	Site string
+	Err  error
+}
+
+// DeployResult is the degraded-mode outcome of a partial-success
+// deployment: which sites came up, which failed and why, and the leases
+// backing each deployed site (the caller renews and releases these).
+type DeployResult struct {
+	Slice    *vm.Slice
+	Deployed []string
+	Failed   []SiteFailure
+	Leases   map[string][]*sharp.Lease
+}
+
+// Degraded reports whether any requested site failed.
+func (r *DeployResult) Degraded() bool { return len(r.Failed) > 0 }
+
+// Err joins the per-site failures (nil when none).
+func (r *DeployResult) Err() error {
+	var errs []error
+	for _, f := range r.Failed {
+		errs = append(errs, fmt.Errorf("%s: %w", f.Site, f.Err))
+	}
+	return errors.Join(errs...)
+}
+
 // DeploySlice builds a service's points of presence: for each requested
 // site, buy a ticket from the agent (steps 3-4), redeem it at the site
 // authority for a lease (5-6), then create a VM, bind the lease's
-// capability, and start it (7). On any site failing, already-built VMs
-// are torn down and their leases released (all-or-nothing, so a partial
-// CDN does not linger).
-func (d *Deployer) DeploySlice(sliceName string, sm *identity.Principal, cpuPerSite float64, notBefore, notAfter time.Duration, sites []string) (*vm.Slice, error) {
-	var span, siteSpan obs.SpanContext
+// capability, and start it (7). Deployment is partial-success: a failing
+// site is rolled back individually (its leases released) and reported in
+// the result while the other sites keep their VMs — a degraded CDN beats
+// no CDN, and the paper's soft-state story repairs it later. The error
+// is non-nil only when not a single site deployed.
+func (d *Deployer) DeploySlice(sliceName string, sm *identity.Principal, cpuPerSite float64, notBefore, notAfter time.Duration, sites []string) (*DeployResult, error) {
+	var span obs.SpanContext
 	if d.tr != nil {
 		span = d.tr.Begin("broker.deploy",
 			obs.String("slice", sliceName), obs.String("sm", sm.Name),
@@ -110,75 +208,177 @@ func (d *Deployer) DeploySlice(sliceName string, sm *identity.Principal, cpuPerS
 	}
 	restore := d.tr.EnterScope(span)
 	defer restore()
-	slice := vm.NewSlice(sliceName)
-	var leases []struct {
-		rt *SiteRuntime
-		l  *sharp.Lease
-	}
-	rollback := func() {
-		slice.StopAll()
-		for _, x := range leases {
-			x.rt.Authority.ReleaseLease(x.l)
-		}
-	}
-	// fail records the outcome on the open spans before unwinding.
-	fail := func(err error) error {
-		d.FailedN++
-		d.cDeployFail.Inc()
-		siteSpan.End(obs.Err(err))
-		span.End(obs.Err(err))
-		rollback()
-		return err
+	res := &DeployResult{
+		Slice:  vm.NewSlice(sliceName),
+		Leases: make(map[string][]*sharp.Lease),
 	}
 	for _, site := range sites {
-		if d.tr != nil {
-			siteSpan = d.tr.BeginUnder(span, "broker.deploy.site", obs.String("site", site))
-		}
-		restoreSite := d.tr.EnterScope(siteSpan)
-		rt, ok := d.Sites[site]
-		if !ok {
-			restoreSite()
-			return nil, fail(fmt.Errorf("broker: unknown site %q", site))
-		}
-		d.Hops += 2 // buy request + ticket grant
-		tickets, err := d.Agent.Sell(sm.Name, sm.Public(), site, capability.CPU, cpuPerSite, notBefore, notAfter)
+		leases, err := d.deploySite(span, res.Slice, sliceName, sm, cpuPerSite, notBefore, notAfter, site)
 		if err != nil {
-			restoreSite()
-			return nil, fail(fmt.Errorf("%w: %v", ErrNoTickets, err))
+			res.Failed = append(res.Failed, SiteFailure{Site: site, Err: err})
+			continue
 		}
-		v := vm.New(sliceName+"@"+site, rt.Node, rt.NM)
-		for _, tk := range tickets {
-			d.Hops += 2 // redeem + lease grant
-			lease, err := rt.Authority.Redeem(tk)
-			if err != nil {
-				restoreSite()
-				return nil, fail(err)
-			}
-			leases = append(leases, struct {
-				rt *SiteRuntime
-				l  *sharp.Lease
-			}{rt, lease})
-			if err := v.Bind(lease.CapID); err != nil {
-				restoreSite()
-				return nil, fail(err)
-			}
-		}
-		if err := v.Start(); err != nil {
-			restoreSite()
-			return nil, fail(err)
-		}
-		if err := slice.Add(v); err != nil {
-			restoreSite()
-			return nil, fail(err)
-		}
-		restoreSite()
-		siteSpan.End()
-		siteSpan = obs.SpanContext{}
+		res.Deployed = append(res.Deployed, site)
+		res.Leases[site] = leases
 	}
-	d.DeployedN++
-	d.cDeployOK.Inc()
-	span.End(obs.Int("vms", len(sites)))
-	return slice, nil
+	if len(res.Deployed) == 0 {
+		d.FailedN++
+		d.cDeployFail.Inc()
+		err := fmt.Errorf("%w: %w", ErrAllSitesFailed, res.Err())
+		span.End(obs.Err(err))
+		return res, err
+	}
+	if res.Degraded() {
+		d.FailedN++
+		d.cDeployFail.Inc()
+	} else {
+		d.DeployedN++
+		d.cDeployOK.Inc()
+	}
+	span.End(obs.Int("vms", len(res.Deployed)), obs.Int("failed", len(res.Failed)))
+	return res, nil
+}
+
+// deploySite attempts one site, rolling back that site's own leases and
+// VM on failure.
+func (d *Deployer) deploySite(parent obs.SpanContext, slice *vm.Slice, sliceName string, sm *identity.Principal, cpuPerSite float64, notBefore, notAfter time.Duration, site string) ([]*sharp.Lease, error) {
+	var span obs.SpanContext
+	if d.tr != nil {
+		span = d.tr.BeginUnder(parent, "broker.deploy.site", obs.String("site", site))
+	}
+	restore := d.tr.EnterScope(span)
+	defer restore()
+	rt, ok := d.Sites[site]
+	if !ok {
+		err := fmt.Errorf("broker: unknown site %q", site)
+		span.End(obs.Err(err))
+		return nil, err
+	}
+	var leases []*sharp.Lease
+	var v *vm.VM
+	fail := func(err error) ([]*sharp.Lease, error) {
+		for _, l := range leases {
+			rt.Authority.ReleaseLease(l)
+		}
+		if v != nil && v.State() == vm.Running {
+			v.Stop()
+		}
+		span.End(obs.Err(err))
+		return nil, err
+	}
+	if err := d.reachable(site); err != nil {
+		span.End(obs.Err(err))
+		return nil, err
+	}
+	d.Hops += 2 // buy request + ticket grant
+	tickets, err := d.Agent.Sell(sm.Name, sm.Public(), site, capability.CPU, cpuPerSite, notBefore, notAfter)
+	if err != nil {
+		return fail(fmt.Errorf("%w: %v", ErrNoTickets, err))
+	}
+	v = vm.New(sliceName+"@"+site, rt.Node, rt.NM)
+	for _, tk := range tickets {
+		d.Hops += 2 // redeem + lease grant
+		lease, err := rt.Authority.Redeem(tk)
+		if err != nil {
+			return fail(err)
+		}
+		leases = append(leases, lease)
+		if err := v.Bind(lease.CapID); err != nil {
+			return fail(err)
+		}
+	}
+	if err := v.Start(); err != nil {
+		return fail(err)
+	}
+	if err := slice.Add(v); err != nil {
+		return fail(err)
+	}
+	span.End()
+	return leases, nil
+}
+
+// DeploySliceAtomic is the all-or-nothing variant co-allocation-style
+// callers keep: any site failing tears down the sites that did come up
+// (so a partial CDN does not linger) and reports the error.
+func (d *Deployer) DeploySliceAtomic(sliceName string, sm *identity.Principal, cpuPerSite float64, notBefore, notAfter time.Duration, sites []string) (*vm.Slice, error) {
+	res, err := d.DeploySlice(sliceName, sm, cpuPerSite, notBefore, notAfter, sites)
+	if err != nil {
+		return nil, err
+	}
+	if res.Degraded() {
+		res.Slice.StopAll()
+		for _, site := range res.Deployed {
+			d.ReleaseLeases(res.Leases[site])
+		}
+		return nil, res.Err()
+	}
+	return res.Slice, nil
+}
+
+// ReleaseLeases returns leases to their site authorities (teardown and
+// rollback paths; unknown sites are skipped — nothing to return to).
+func (d *Deployer) ReleaseLeases(leases []*sharp.Lease) {
+	for _, l := range leases {
+		if rt, ok := d.Sites[l.Site]; ok {
+			rt.Authority.ReleaseLease(l)
+		}
+	}
+}
+
+// RenewLease extends one lease to the target notAfter: buy fresh tickets
+// from the agent for the covering interval — re-stocking from the
+// issuing authority when the agent's inventory ran dry — and present
+// them to the authority as a renewal. The breaker and SiteDown gates
+// apply: renewing against a dead site fails fast and charges its
+// breaker, which is exactly when the renewer's retry loop should back
+// off.
+func (d *Deployer) RenewLease(sm *identity.Principal, l *sharp.Lease, notAfter time.Duration) error {
+	var span obs.SpanContext
+	if d.tr != nil {
+		span = d.tr.Begin("broker.renew",
+			obs.String("site", l.Site), obs.String("lease", l.ID), obs.Dur("not_after", notAfter))
+	}
+	restore := d.tr.EnterScope(span)
+	defer restore()
+	fail := func(err error) error {
+		d.RenewFailN++
+		d.cRenewFail.Inc()
+		span.End(obs.Err(err))
+		return err
+	}
+	rt, ok := d.Sites[l.Site]
+	if !ok {
+		return fail(fmt.Errorf("broker: unknown site %q", l.Site))
+	}
+	if err := d.reachable(l.Site); err != nil {
+		return fail(err)
+	}
+	nb := l.NotBefore
+	if inv := d.Inventory(l.Site); inv < l.Amount {
+		// Inventory ran dry: re-acquire a fresh root ticket first.
+		d.Hops += 2
+		tk, err := rt.Authority.IssueTicket(d.Agent.Name, d.Agent.Key(), capability.CPU, l.Amount-inv, nb, notAfter)
+		if err != nil {
+			return fail(err)
+		}
+		if err := d.Agent.Acquire(tk); err != nil {
+			return fail(err)
+		}
+		d.cStocked.Inc()
+	}
+	d.Hops += 2 // buy request + ticket grant
+	tickets, err := d.Agent.Sell(sm.Name, sm.Public(), l.Site, capability.CPU, l.Amount, nb, notAfter)
+	if err != nil {
+		return fail(fmt.Errorf("%w: %v", ErrNoTickets, err))
+	}
+	d.Hops += 2 // renew request + grant
+	if _, err := rt.Authority.Renew(l.ID, tickets...); err != nil {
+		return fail(err)
+	}
+	d.RenewedN++
+	d.cRenewOK.Inc()
+	span.End()
+	return nil
 }
 
 // BlastRadius describes what an attacker gains by compromising a broker —

@@ -271,6 +271,26 @@ func (m *NodeManager) Bind(id ID) (*Capability, error) {
 	return c, nil
 }
 
+// Extend pushes a live capability's NotAfter out to a later time — the
+// hard-state half of a SHARP lease renewal. The committed amount is
+// unchanged, so no admission check is needed: the claim keeps the
+// resources it already holds, just for longer. Shrinking (or failing to
+// extend) the interval is rejected.
+func (m *NodeManager) Extend(id ID, notAfter time.Duration) error {
+	c, err := m.lookup(id)
+	if err != nil {
+		return err
+	}
+	if now := m.clock.Now(); now >= c.NotAfter {
+		return fmt.Errorf("%w: lapsed at %v, now %v", ErrExpiredCapability, c.NotAfter, now)
+	}
+	if notAfter <= c.NotAfter {
+		return fmt.Errorf("capability: extend to %v does not pass current %v", notAfter, c.NotAfter)
+	}
+	c.NotAfter = notAfter
+	return nil
+}
+
 // Release returns a bound or outstanding capability's resources to the
 // pool and forgets it.
 func (m *NodeManager) Release(id ID) {

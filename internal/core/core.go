@@ -21,6 +21,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"time"
 
 	"repro/internal/broker"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/identity"
 	"repro/internal/mds"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 	"repro/internal/sharp"
 	"repro/internal/silk"
 	"repro/internal/sim"
@@ -185,6 +187,11 @@ type Federation struct {
 	// spans nest causally across layers.
 	Tracer *obs.Tracer
 
+	// Resilience is the federation-wide retry/breaker/keepalive kit,
+	// non-nil only when built with Config.Resilience. All layers share
+	// the one kit, so its per-site breakers agree on a site's health.
+	Resilience *resilience.Kit
+
 	Sites []*Site
 
 	// VO-level services.
@@ -219,6 +226,11 @@ type Config struct {
 	// bound to the engine, and installed into every subsystem built here.
 	// Off (the default) costs nothing — all instrumentation is nil-gated.
 	Trace bool
+	// Resilience enables the fault-handling layer: deterministic
+	// retry/backoff on transport faults, per-site circuit breakers shared
+	// across the brokers, and (via servicemgr) lease-renewal keepalive.
+	// Off (the default) reproduces the raw protocols byte for byte.
+	Resilience bool
 }
 
 // Build assembles a federation of the given architecture over the sites.
@@ -257,6 +269,23 @@ func Build(stack Stack, cfg Config, specs []SiteSpec) *Federation {
 		f.Tracer.BindEngine()
 		net.SetTracer(f.Tracer)
 		f.Deployer.SetTracer(f.Tracer)
+	}
+	// The deployer always knows the fault surface: deploying "into" a
+	// crashed site against its in-process authority would be a liveness
+	// lie the real system could not tell.
+	f.Deployer.SiteDown = f.SiteDown
+	if cfg.Resilience {
+		f.Resilience = resilience.NewKit(eng, eng.ForkRand(), f.Tracer)
+		f.Deployer.Breakers = f.Resilience.Breakers
+		f.Matchmaker.Retry = f.Resilience.Retry
+		f.Matchmaker.Breakers = f.Resilience.Breakers
+		f.Matchmaker.SiteOf = func(gk string) string {
+			return strings.TrimPrefix(gk, "gk-")
+		}
+		f.CoAlloc.Retry = f.Resilience.Retry
+		if f.Tracer != nil {
+			f.CoAlloc.SetTracer(f.Tracer)
+		}
 	}
 
 	verifier := identity.NewVerifier(f.CA)

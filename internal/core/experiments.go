@@ -92,7 +92,7 @@ func RunScale(seed int64, siteCounts []int) *metrics.Table {
 		}
 		hops0 := fp.Deployer.Hops
 		sm := identity.NewPrincipal("sm", fp.Rng)
-		if _, err := fp.Deployer.DeploySlice("svc", sm, 0.5, now, now+time.Hour, sites); err != nil {
+		if _, err := fp.Deployer.DeploySliceAtomic("svc", sm, 0.5, now, now+time.Hour, sites); err != nil {
 			t.AddRow(n, "planetlab", n, "-", "deploy failed", 0)
 			continue
 		}
@@ -240,7 +240,7 @@ func RunDelegation(seed int64, nSites, nOps int, churn float64) *metrics.Table {
 		// structural property being measured.
 		sm := identity.NewPrincipal(fmt.Sprintf("sm%d", op), fp.Rng)
 		site := siteNames[op%len(siteNames)]
-		slice, err := fp.Deployer.DeploySlice(fmt.Sprintf("svc%d", op), sm, 0.25, now, now+1000*time.Hour, []string{site})
+		slice, err := fp.Deployer.DeploySliceAtomic(fmt.Sprintf("svc%d", op), sm, 0.25, now, now+1000*time.Hour, []string{site})
 		if err == nil {
 			okP++
 			slice.StopAll()

@@ -160,7 +160,7 @@ func probeRemoteExecution(f *Federation) error {
 		return err
 	}
 	sm := f.User("probe-sm").Holder
-	slice, err := f.Deployer.DeploySlice("probe-slice", sm, 0.5, f.Eng.Now(), f.Eng.Now()+time.Hour, []string{site.Spec.Name})
+	slice, err := f.Deployer.DeploySliceAtomic("probe-slice", sm, 0.5, f.Eng.Now(), f.Eng.Now()+time.Hour, []string{site.Spec.Name})
 	if err != nil {
 		return err
 	}
@@ -232,7 +232,7 @@ func probeCoAllocation(f *Federation) error {
 		return err
 	}
 	sm := f.User("probe-sm2").Holder
-	slice, err := f.Deployer.DeploySlice("probe-coalloc", sm, 0.5, f.Eng.Now(), f.Eng.Now()+time.Hour, names)
+	slice, err := f.Deployer.DeploySliceAtomic("probe-coalloc", sm, 0.5, f.Eng.Now(), f.Eng.Now()+time.Hour, names)
 	if err != nil {
 		return err
 	}
@@ -386,7 +386,7 @@ func probeVMInstantiation(f *Federation) error {
 		return err
 	}
 	sm := f.User("probe-sm3").Holder
-	slice, err := f.Deployer.DeploySlice("probe-pop", sm, 0.25, f.Eng.Now(), f.Eng.Now()+24*time.Hour, []string{site.Spec.Name})
+	slice, err := f.Deployer.DeploySliceAtomic("probe-pop", sm, 0.25, f.Eng.Now(), f.Eng.Now()+24*time.Hour, []string{site.Spec.Name})
 	if err != nil {
 		return err
 	}

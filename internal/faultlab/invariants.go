@@ -132,6 +132,36 @@ func CheckServiceStrength(m *servicemgr.Manager, feasible int) []Violation {
 	return nil
 }
 
+// CheckLeaseContinuity asserts the keepalive promise: a running point of
+// presence at a healthy (not crashed) site must still be inside its
+// lease horizon. A PoP strictly past its horizon means lease
+// enforcement and renewal both failed — the VM is running on resources
+// it no longer holds.
+func CheckLeaseContinuity(f *core.Federation, m *servicemgr.Manager) []Violation {
+	now := f.Eng.Now()
+	var out []Violation
+	for _, site := range m.ActiveSites() {
+		if f.SiteDown(site) {
+			continue
+		}
+		exp, ok := m.LeaseHorizon(site)
+		if !ok {
+			out = append(out, Violation{
+				Invariant: "lease-continuity",
+				Detail:    fmt.Sprintf("%s: active PoP holds no recorded lease", site),
+			})
+			continue
+		}
+		if exp < now {
+			out = append(out, Violation{
+				Invariant: "lease-continuity",
+				Detail:    fmt.Sprintf("%s: active PoP past lease horizon %v at %v", site, exp, now),
+			})
+		}
+	}
+	return out
+}
+
 // CheckMDSFreshness asserts the soft-state promise: an index must not
 // serve a record whose source host has been dead longer than the maximum
 // TTL — by then every registration it could have pushed has expired.
@@ -159,6 +189,9 @@ type CheckOpts struct {
 	// Managers, when non-empty, have their strength checked (convergence
 	// audits pass them only after the heal + converge phase).
 	Managers []*servicemgr.Manager
+	// LeaseManagers, when non-empty, have lease continuity checked: this
+	// is structural (safe mid-run), unlike the strength check.
+	LeaseManagers []*servicemgr.Manager
 	// FeasibleSites is the number of candidate sites a manager could
 	// possibly occupy right now.
 	FeasibleSites int
@@ -184,6 +217,9 @@ func CheckFederation(f *core.Federation, opts CheckOpts) []Violation {
 		now := f.Eng.Now()
 		out = append(out, CheckMDSFreshness(f.Index, now, f.HostDownSince, opts.TTLBound)...)
 		out = append(out, CheckMDSFreshness(f.Comon, now, f.HostDownSince, opts.TTLBound)...)
+	}
+	for _, m := range opts.LeaseManagers {
+		out = append(out, CheckLeaseContinuity(f, m)...)
 	}
 	for _, m := range opts.Managers {
 		out = append(out, CheckServiceStrength(m, opts.FeasibleSites)...)

@@ -12,6 +12,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/servicemgr"
+	"repro/internal/sim"
 )
 
 // ChaosConfig shapes the chaos scenario: a hybrid federation running a
@@ -37,6 +38,18 @@ type ChaosConfig struct {
 	// back on Report.Tracer. Off by default: the determinism tests compare
 	// traced and untraced runs for identical outcomes.
 	Trace bool
+	// Lease is the managed service's lease term. Zero keeps the legacy
+	// behaviour of a single lease outliving the whole run; a short term
+	// makes keepalive renewal load-bearing.
+	Lease time.Duration
+	// ReconcileEvery, when positive, runs a periodic repair pass in
+	// addition to the event-driven fault hooks — the only way silently
+	// crashed sites get replaced before the final heal.
+	ReconcileEvery time.Duration
+	// Resilience wires the retry/breaker/keepalive kit through the stack
+	// (core.Config.Resilience) and routes the job stream through the
+	// retrying submit path.
+	Resilience bool
 }
 
 // DefaultChaosConfig returns the scenario gridlab chaos runs.
@@ -77,6 +90,31 @@ type Report struct {
 	Summary string
 	// Tracer holds the run's obs tracer when ChaosConfig.Trace was set.
 	Tracer *obs.Tracer
+	// Availability is the fraction of the run the service spent at full
+	// strength: 1 − degraded/total.
+	Availability float64
+	// LeaseLapses counts PoPs torn down by the lease watchdog.
+	LeaseLapses int
+	// Resilience carries the kit's counters when ChaosConfig.Resilience
+	// was set (nil otherwise).
+	Resilience *ResilienceStats
+	// Flags holds the non-default chaos flags needed to reproduce the
+	// run's configuration ("" for the default scenario).
+	Flags string
+}
+
+// ResilienceStats snapshots the resilience kit's counters after a run.
+type ResilienceStats struct {
+	// Renewals / RenewGiveups count keepalive cycles that extended a
+	// lease vs. exhausted their budget.
+	Renewals, RenewGiveups int
+	// Trips / Recloses count breaker state transitions across all sites.
+	Trips, Recloses int
+	// Retries counts re-attempts the shared executor scheduled.
+	Retries int
+	// OpenSites lists breakers not closed at the end of the run — after
+	// HealAll and the converge window this should be empty.
+	OpenSites []string
 }
 
 // OK reports whether every invariant held.
@@ -84,7 +122,26 @@ func (r *Report) OK() bool { return len(r.Violations) == 0 }
 
 // Repro returns the command line that reproduces this exact run.
 func (r *Report) Repro() string {
-	return fmt.Sprintf("gridlab chaos -seed %d -profile %s", r.Seed, r.Profile)
+	s := fmt.Sprintf("gridlab chaos -seed %d -profile %s", r.Seed, r.Profile)
+	if r.Flags != "" {
+		s += " " + r.Flags
+	}
+	return s
+}
+
+// reproFlags renders the non-default knobs for Report.Flags.
+func reproFlags(cfg ChaosConfig) string {
+	var fl []string
+	if cfg.Resilience {
+		fl = append(fl, "-resilience")
+	}
+	if cfg.Lease > 0 {
+		fl = append(fl, fmt.Sprintf("-lease %s", cfg.Lease))
+	}
+	if cfg.ReconcileEvery > 0 {
+		fl = append(fl, fmt.Sprintf("-reconcile %s", cfg.ReconcileEvery))
+	}
+	return strings.Join(fl, " ")
 }
 
 // RunChaos generates the (seed, profile) schedule, runs the scenario under
@@ -111,7 +168,10 @@ func run(seed int64, sched *Schedule, cfg ChaosConfig) *Report {
 			Policy: core.PlanetLabSitePolicy(),
 		}
 	}
-	f := core.Build(core.StackHybrid, core.Config{Seed: seed, RefreshInterval: cfg.Refresh, Trace: cfg.Trace}, specs)
+	f := core.Build(core.StackHybrid, core.Config{
+		Seed: seed, RefreshInterval: cfg.Refresh, Trace: cfg.Trace,
+		Resilience: cfg.Resilience,
+	}, specs)
 	end := cfg.Horizon + cfg.Converge
 
 	// Ticket stock for the service manager, valid past the audit.
@@ -123,16 +183,23 @@ func run(seed int64, sched *Schedule, cfg ChaosConfig) *Report {
 	if err := f.Deployer.Stock(200, 0, end+time.Hour, names...); err != nil {
 		panic(fmt.Sprintf("faultlab: stocking deployer: %v", err))
 	}
+	lease := cfg.Lease
+	if lease == 0 {
+		lease = end + time.Hour // legacy: one lease outlives the run
+	}
 	sm := identity.NewPrincipal("chaos-sm", f.Rng)
 	mgr := servicemgr.New(f.Eng, f.Deployer, sm, servicemgr.Config{
 		Name:       "chaos-svc",
 		Target:     cfg.Target,
 		CPUPerSite: cfg.CPUPerSite,
 		Candidates: names,
-		Lease:      end + time.Hour,
+		Lease:      lease,
 	})
 	if f.Tracer != nil {
 		mgr.SetTracer(f.Tracer)
+	}
+	if f.Resilience != nil {
+		mgr.SetResilience(f.Resilience)
 	}
 	if err := mgr.Start(); err != nil {
 		panic(fmt.Sprintf("faultlab: starting service: %v", err))
@@ -170,14 +237,34 @@ func run(seed int64, sched *Schedule, cfg ChaosConfig) *Report {
 				ActualRun: time.Duration(1+jobRng.Intn(8)) * time.Minute,
 			},
 		}
-		gram.Submit(f.Net, "vo-broker", s.Host, req, 30*time.Second, func(_ gram.SubmitReply, err error) {
+		done := func(_ gram.SubmitReply, err error) {
 			if err != nil {
 				refused++
 				return
 			}
 			accepted++
-		})
+		}
+		if f.Resilience != nil {
+			gram.SubmitWithRetry(f.Resilience.Retry, f.Resilience.Breakers.For(s.Spec.Name),
+				f.Net, "vo-broker", s.Host, req, 30*time.Second, done)
+		} else {
+			gram.Submit(f.Net, "vo-broker", s.Host, req, 30*time.Second, done)
+		}
 	})
+
+	var reconcileTicker *sim.Ticker
+	if cfg.ReconcileEvery > 0 {
+		reconcileTicker = f.Eng.NewTicker(cfg.ReconcileEvery, func() {
+			mgr.Reconcile()
+			if f.Resilience != nil {
+				// Half-open trials for written-off sites the service no
+				// longer visits on its own.
+				for _, site := range f.Resilience.Breakers.NotClosed() {
+					f.Deployer.Probe(site)
+				}
+			}
+		})
+	}
 
 	var inj *Injector
 	if sched != nil {
@@ -200,7 +287,10 @@ func run(seed int64, sched *Schedule, cfg ChaosConfig) *Report {
 		}
 	}
 	auditTicker := f.Eng.NewTicker(cfg.AuditEvery, func() {
-		record(CheckFederation(f, CheckOpts{TTLBound: ttlBound}))
+		record(CheckFederation(f, CheckOpts{
+			TTLBound:      ttlBound,
+			LeaseManagers: []*servicemgr.Manager{mgr},
+		}))
 	})
 
 	f.Eng.RunUntil(cfg.Horizon)
@@ -211,6 +301,9 @@ func run(seed int64, sched *Schedule, cfg ChaosConfig) *Report {
 	f.Eng.RunUntil(end)
 	jobTicker.Stop()
 	auditTicker.Stop()
+	if reconcileTicker != nil {
+		reconcileTicker.Stop()
+	}
 
 	feasible := 0
 	for _, name := range names {
@@ -220,6 +313,7 @@ func run(seed int64, sched *Schedule, cfg ChaosConfig) *Report {
 	}
 	record(CheckFederation(f, CheckOpts{
 		Managers:      []*servicemgr.Manager{mgr},
+		LeaseManagers: []*servicemgr.Manager{mgr},
 		FeasibleSites: feasible,
 		TTLBound:      ttlBound,
 	}))
@@ -245,6 +339,17 @@ func run(seed int64, sched *Schedule, cfg ChaosConfig) *Report {
 		applied, revoked = inj.AppliedN, inj.RevokedN
 		trace = inj.Trace()
 	}
+	// Resilience counters: plain zeros when the kit is off, so the summary
+	// table keeps the same rows (and stays byte-comparable) either way.
+	renewals, giveups, trips, recloses, retries := 0, 0, 0, 0, 0
+	if f.Resilience != nil {
+		renewals = f.Resilience.Renewer.RenewedN
+		giveups = f.Resilience.Renewer.GiveupsN
+		trips = f.Resilience.Breakers.Trips()
+		recloses = f.Resilience.Breakers.Recloses()
+		retries = f.Resilience.Retry.RetriesN
+	}
+	availability := 1 - float64(mgr.DegradedSoFar())/float64(end)
 	tbl := metrics.NewTable("metric", "value")
 	tbl.AddRow("sites joined", len(f.JoinedSites()))
 	tbl.AddRow("jobs submitted", submitted)
@@ -255,19 +360,36 @@ func run(seed int64, sched *Schedule, cfg ChaosConfig) *Report {
 	tbl.AddRow("service running", mgr.Running())
 	tbl.AddRow("service target", mgr.Target())
 	tbl.AddRow("service redeploys", mgr.RedeployN)
-	tbl.AddRow("service degraded", mgr.DegradedTime.String())
+	tbl.AddRow("service degraded", mgr.DegradedSoFar().String())
+	tbl.AddRow("service availability", fmt.Sprintf("%.4f", availability))
+	tbl.AddRow("lease lapses", mgr.LeaseLapsedN)
+	tbl.AddRow("lease renewals", renewals)
+	tbl.AddRow("renew giveups", giveups)
+	tbl.AddRow("breaker trips", trips)
+	tbl.AddRow("breaker recloses", recloses)
+	tbl.AddRow("op retries", retries)
 	tbl.AddRow("faults applied", applied)
 	tbl.AddRow("faults revoked", revoked)
 	tbl.AddRow("violations", len(violations))
 
 	f.Tracer.SampleGauges()
 	rep := &Report{
-		Seed:       seed,
-		Schedule:   sched,
-		Trace:      trace,
-		Violations: violations,
-		Summary:    tbl.String(),
-		Tracer:     f.Tracer,
+		Seed:         seed,
+		Schedule:     sched,
+		Trace:        trace,
+		Violations:   violations,
+		Summary:      tbl.String(),
+		Tracer:       f.Tracer,
+		Availability: availability,
+		LeaseLapses:  mgr.LeaseLapsedN,
+		Flags:        reproFlags(cfg),
+	}
+	if f.Resilience != nil {
+		rep.Resilience = &ResilienceStats{
+			Renewals: renewals, RenewGiveups: giveups,
+			Trips: trips, Recloses: recloses, Retries: retries,
+			OpenSites: f.Resilience.Breakers.NotClosed(),
+		}
 	}
 	if sched != nil {
 		rep.Profile = sched.Profile
@@ -281,6 +403,11 @@ type SweepResult struct {
 	Runs int
 	// ViolationN is the total violation count across all runs.
 	ViolationN int
+	// AvailabilitySum accumulates per-run availability; divide by Runs
+	// for the sweep mean.
+	AvailabilitySum float64
+	// LeaseLapses is the total watchdog teardown count across all runs.
+	LeaseLapses int
 	// First is the first violating report in sweep order (nil when clean):
 	// its Repro() line is the minimal reproduction of the failure.
 	First *Report
@@ -313,6 +440,8 @@ func Sweep(startSeed int64, seeds int, profiles []Profile, cfg ChaosConfig) *Swe
 			rep := RunChaos(startSeed+s, p, cfg)
 			res.Runs++
 			res.ViolationN += len(rep.Violations)
+			res.AvailabilitySum += rep.Availability
+			res.LeaseLapses += rep.LeaseLapses
 			if !rep.OK() && res.First == nil {
 				res.First = rep
 			}

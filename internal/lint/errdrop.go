@@ -14,7 +14,7 @@ import (
 // whose failure changes resource-accounting state.
 var ErrdropAnalyzer = &Analyzer{
 	Name: "errdrop",
-	Doc:  "flag discarded errors from domain-critical calls (Redeem, Claim, AcquirePort, Submit, Deploy, ...)",
+	Doc:  "flag discarded errors from domain-critical calls (Redeem, Claim, AcquirePort, Submit, Renew, Cancel, Deploy, ...)",
 	Run:  runErrdrop,
 }
 
@@ -32,6 +32,13 @@ var errdropTargets = map[string]bool{
 	"Stock":       true,
 	"StartAll":    true,
 	"Barter":      true,
+	// Resilience-era accounting calls: a renewal or cancel whose error
+	// vanishes is a lease that lapses (or a job that leaks) silently, and
+	// a retry loop's terminal error is the only record that it gave up.
+	"Renew":      true,
+	"RenewLease": true,
+	"Cancel":     true,
+	"Do":         true,
 }
 
 func runErrdrop(pass *Pass) {

@@ -62,6 +62,7 @@ func Analyzers() []*Analyzer {
 		GlobalrandAnalyzer,
 		MaporderAnalyzer,
 		ErrdropAnalyzer,
+		JitterrandAnalyzer,
 	}
 }
 

@@ -107,6 +107,20 @@ func TestWalltimeCorpus(t *testing.T)   { runCorpus(t, "walltime", WalltimeAnaly
 func TestGlobalrandCorpus(t *testing.T) { runCorpus(t, "globalrand", GlobalrandAnalyzer) }
 func TestMaporderCorpus(t *testing.T)   { runCorpus(t, "maporder", MaporderAnalyzer) }
 func TestErrdropCorpus(t *testing.T)    { runCorpus(t, "errdrop", ErrdropAnalyzer) }
+func TestJitterrandCorpus(t *testing.T) { runCorpus(t, "jitterrand", JitterrandAnalyzer) }
+
+// TestJitterrandSkipsResiliencePackage: the guarded package's own files
+// (constructors, tests) may build the literals.
+func TestJitterrandSkipsResiliencePackage(t *testing.T) {
+	loader, pkg := loadCorpus(t, "jitterrand")
+	scoped := *pkg
+	scoped.Path = "repro/internal/resilience"
+	res := Run(loader.Fset, []*Package{&scoped}, []*Analyzer{JitterrandAnalyzer})
+	if len(res.Findings) != 0 {
+		t.Errorf("jitterrand inside its own package: got %d findings, want 0; first: %v",
+			len(res.Findings), res.Findings[0])
+	}
+}
 
 // TestWalltimeScopedToInternal: the same wall-clock-ridden code outside
 // internal/ produces no findings — examples and cmd may touch real time.

@@ -8,6 +8,8 @@ type authority struct{}
 
 func (authority) Redeem(tk string) (string, error) { return "", errors.New("double spend") }
 func (authority) Submit(j string) error            { return nil }
+func (authority) Renew(id string) error            { return nil }
+func (authority) Cancel(id string) error           { return nil }
 
 // DeploySlice is package-level: plain function calls are guarded too.
 func DeploySlice(name string) error { return nil }
@@ -19,6 +21,8 @@ func Bad(a authority) {
 	_ = lease
 	go a.Submit("j2")    // want "error returned by Submit is dropped"
 	defer a.Submit("j3") // want "error returned by Submit is dropped"
+	a.Renew("l1")        // want "error returned by Renew is dropped"
+	a.Cancel("j4")       // want "error returned by Cancel is dropped"
 }
 
 // BadFunc covers plain (non-method) calls to guarded names.
@@ -40,4 +44,11 @@ type fireAndForget struct{}
 // Submit here returns nothing: same name, no error result, no finding.
 func (fireAndForget) Submit(string) {}
 
-func GoodNoError(q fireAndForget) { q.Submit("x") }
+// Do mirrors resilience.Executor.Do: callback-style, no error result.
+// The name is guarded only where a Do actually returns an error.
+func (fireAndForget) Do(string, func(error)) {}
+
+func GoodNoError(q fireAndForget) {
+	q.Submit("x")
+	q.Do("op", func(error) {})
+}

@@ -1,0 +1,28 @@
+// Package jitterrand is gridlint corpus: resilience machinery built as
+// a composite literal (no injected rand source, no engine clock) is
+// flagged; the New* constructors are the sanctioned path.
+package jitterrand
+
+import (
+	"time"
+
+	"repro/internal/resilience"
+	"repro/internal/sim"
+)
+
+func Bad() {
+	ex := resilience.Executor{} // want "resilience.Executor built as a composite literal"
+	_ = ex
+	k := &resilience.Kit{} // want "resilience.Kit built as a composite literal"
+	_ = k
+	var r *resilience.Renewer = &resilience.Renewer{} // want "resilience.Renewer built as a composite literal"
+	_ = r
+}
+
+func Good(eng *sim.Engine) *resilience.Kit {
+	// Policy literals are fine — the policy is plain data; the rand
+	// source lives in the executor the constructor builds.
+	pol := resilience.Policy{Base: 10 * time.Second, Jitter: time.Second}
+	_ = resilience.NewExecutor(eng, eng.ForkRand(), pol, nil)
+	return resilience.NewKit(eng, eng.ForkRand(), nil)
+}

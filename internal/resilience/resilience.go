@@ -1,0 +1,306 @@
+// Package resilience is gridlab's deterministic fault-handling layer:
+// the recovery half of the paper's soft-state story. SHARP tickets are
+// *soft* claims that must be refreshed into hard leases before they
+// lapse, and short lease/proxy lifetimes trade exposure for renewal
+// traffic — which only works if something actually renews, retries, and
+// stops hammering dead sites. This package supplies those three
+// mechanisms:
+//
+//   - Policy/Executor: capped exponential backoff with jitter drawn from
+//     an injected seeded *rand.Rand, scheduled on the sim.Engine clock
+//     (never the wall clock), with per-attempt deadlines and an overall
+//     virtual-time budget.
+//   - Breaker: per-site circuit breakers (closed/open/half-open with a
+//     virtual-time cool-down) so callers degrade gracefully instead of
+//     hammering partitioned or crashed sites.
+//   - Renewer: a keepalive loop that re-redeems leases a configurable
+//     fraction of the term before notAfter, retrying through the
+//     executor with the remaining lifetime as its budget.
+//
+// Determinism contract: the package never reads the wall clock, never
+// draws from the global rand stream, and schedules everything on the
+// engine, so a run with resilience enabled is byte-identical across
+// repeats of the same seed. Construct executors via NewExecutor/NewKit —
+// the jitterrand analyzer flags composite-literal construction, which
+// could smuggle in a jittered backoff with no rand source.
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Package errors. Terminal Do outcomes wrap both the classifying
+// sentinel and the last attempt's error, so errors.Is works on either.
+var (
+	// ErrBreakerOpen reports an attempt refused because the target's
+	// breaker was open. It is transient: the breaker half-opens after its
+	// cool-down, so policies normally retry it.
+	ErrBreakerOpen = errors.New("resilience: breaker open")
+	// ErrAttemptTimeout reports an attempt abandoned at its per-attempt
+	// deadline (the operation's own completion, if any, is then ignored).
+	ErrAttemptTimeout = errors.New("resilience: attempt deadline exceeded")
+	// ErrRetriesExhausted reports MaxAttempts failures.
+	ErrRetriesExhausted = errors.New("resilience: attempts exhausted")
+	// ErrBudgetExhausted reports that the next retry would start past the
+	// policy's overall virtual-time budget.
+	ErrBudgetExhausted = errors.New("resilience: retry budget exhausted")
+)
+
+// IsBreakerOpen reports whether err was caused by an open breaker
+// refusing the attempt (a connectivity verdict, not an answer from the
+// target — callers treating refusals as final should still retry these).
+func IsBreakerOpen(err error) bool { return errors.Is(err, ErrBreakerOpen) }
+
+// Policy shapes one retry loop: capped exponential backoff plus uniform
+// jitter, bounded by attempts and/or an overall virtual-time budget.
+type Policy struct {
+	// Base is the backoff before the second attempt; each further retry
+	// multiplies it by Mult, capped at Cap.
+	Base time.Duration
+	Cap  time.Duration
+	Mult float64
+	// Jitter is the maximum extra delay added to each backoff, drawn
+	// uniformly from [0, Jitter) off the executor's injected rand stream.
+	// Jitter decorrelates retry storms without breaking determinism.
+	Jitter time.Duration
+	// MaxAttempts bounds total attempts (0 = unbounded; rely on Budget).
+	MaxAttempts int
+	// Budget bounds the whole loop in virtual time from the first
+	// attempt: a retry that would start after Budget is not scheduled
+	// (0 = unbounded).
+	Budget time.Duration
+	// AttemptTimeout abandons any single attempt that has not settled
+	// after this much virtual time (0 = wait forever on the attempt).
+	AttemptTimeout time.Duration
+	// Retryable classifies errors; a nil func retries everything.
+	// Non-retryable errors end the loop immediately (site policy said no;
+	// asking again cannot help).
+	Retryable func(error) bool
+}
+
+// DefaultPolicy returns the stack-wide default retry shape: 10s base
+// doubling to a 5m cap, up to 10s of jitter, at most 6 attempts.
+func DefaultPolicy() Policy {
+	return Policy{
+		Base:        10 * time.Second,
+		Cap:         5 * time.Minute,
+		Mult:        2,
+		Jitter:      10 * time.Second,
+		MaxAttempts: 6,
+	}
+}
+
+// withDefaults fills zero fields so a partially specified policy behaves.
+func (p Policy) withDefaults() Policy {
+	d := DefaultPolicy()
+	if p.Base <= 0 {
+		p.Base = d.Base
+	}
+	if p.Cap <= 0 {
+		p.Cap = d.Cap
+	}
+	if p.Mult < 1 {
+		p.Mult = d.Mult
+	}
+	return p
+}
+
+// backoff returns the delay before attempt n+1 (n >= 1), jittered from
+// the injected stream.
+func (p Policy) backoff(n int, rng *rand.Rand) time.Duration {
+	d := float64(p.Base)
+	for i := 1; i < n; i++ {
+		d *= p.Mult
+		if d >= float64(p.Cap) {
+			d = float64(p.Cap)
+			break
+		}
+	}
+	delay := time.Duration(d)
+	if delay > p.Cap {
+		delay = p.Cap
+	}
+	if p.Jitter > 0 {
+		delay += time.Duration(rng.Int63n(int64(p.Jitter)))
+	}
+	return delay
+}
+
+// Op is one retryable asynchronous operation: do the work for the given
+// attempt (1-based) and settle exactly once through done. Settling after
+// the attempt's deadline has passed is ignored.
+type Op func(attempt int, done func(error))
+
+// Executor runs Ops under a Policy on the engine clock. All state
+// machines run inside engine callbacks (the kernel is single-threaded),
+// so no locking is needed and event order is deterministic.
+type Executor struct {
+	eng *sim.Engine
+	rng *rand.Rand
+	pol Policy
+
+	// AttemptsN / RetriesN / OKN / FailN count outcomes as plain ints so
+	// chaos summaries do not depend on whether tracing is on.
+	AttemptsN, RetriesN, OKN, FailN int
+
+	tr                              *obs.Tracer
+	cAttempts, cRetries, cOK, cFail *obs.Counter
+	cFastFail                       *obs.Counter
+}
+
+// NewExecutor builds an executor over the engine's virtual clock. The
+// rand stream must be non-nil (fork one from the engine); the tracer may
+// be nil (all instrumentation stays inert).
+func NewExecutor(eng *sim.Engine, rng *rand.Rand, pol Policy, tr *obs.Tracer) *Executor {
+	if eng == nil {
+		panic("resilience: nil engine")
+	}
+	if rng == nil {
+		panic("resilience: nil rand source (fork one from the engine)")
+	}
+	return &Executor{
+		eng:       eng,
+		rng:       rng,
+		pol:       pol.withDefaults(),
+		tr:        tr,
+		cAttempts: tr.Counter("resilience.attempts"),
+		cRetries:  tr.Counter("resilience.retries"),
+		cOK:       tr.Counter("resilience.ok"),
+		cFail:     tr.Counter("resilience.giveups"),
+		cFastFail: tr.Counter("resilience.breaker.fastfail"),
+	}
+}
+
+// Policy returns a copy of the executor's default policy, for callers
+// that want a per-call variant (set Retryable, tighten Budget, ...).
+func (e *Executor) Policy() Policy { return e.pol }
+
+// Do runs op under the executor's default policy. See DoWithPolicy.
+func (e *Executor) Do(name string, br *Breaker, op Op, done func(error)) {
+	e.DoWithPolicy(name, e.pol, br, op, done)
+}
+
+// DoWithPolicy runs op now and retries failures per pol, gated by br
+// (nil = ungated): a denied attempt settles as ErrBreakerOpen — without
+// charging the breaker a failure — and retries like any transient error.
+// done is called exactly once with nil on success or a terminal error
+// wrapping the last attempt's failure.
+func (e *Executor) DoWithPolicy(name string, pol Policy, br *Breaker, op Op, done func(error)) {
+	pol = pol.withDefaults()
+	var span obs.SpanContext
+	if e.tr != nil {
+		span = e.tr.Begin("resilience.do", obs.String("op", name))
+	}
+	start := e.eng.Now()
+	attempts := 0
+	finish := func(err error) {
+		if err == nil {
+			e.OKN++
+			e.cOK.Inc()
+		} else {
+			e.FailN++
+			e.cFail.Inc()
+		}
+		span.End(obs.Int("attempts", attempts), obs.Err(err))
+		done(err)
+	}
+	var attempt func(n int)
+	attempt = func(n int) {
+		attempts = n
+		settled := false
+		admitted := false
+		var deadline *sim.Event
+		settle := func(opErr error) {
+			if settled {
+				return
+			}
+			settled = true
+			if deadline != nil {
+				e.eng.Cancel(deadline)
+			}
+			if opErr == nil {
+				br.Success()
+				finish(nil)
+				return
+			}
+			if !errors.Is(opErr, ErrBreakerOpen) {
+				br.Failure()
+			} else if admitted {
+				// The op was admitted here but refused by a downstream
+				// gate over the same breaker: release the probe slot this
+				// admission may hold, or the breaker jams half-open.
+				br.Abort()
+			}
+			span.Event("resilience.attempt_failed",
+				obs.Int("attempt", n), obs.Err(opErr))
+			if pol.Retryable != nil && !pol.Retryable(opErr) {
+				finish(opErr)
+				return
+			}
+			if pol.MaxAttempts > 0 && n >= pol.MaxAttempts {
+				finish(fmt.Errorf("%w (%d): %w", ErrRetriesExhausted, n, opErr))
+				return
+			}
+			delay := pol.backoff(n, e.rng)
+			if pol.Budget > 0 && e.eng.Now()+delay-start > pol.Budget {
+				finish(fmt.Errorf("%w (%v): %w", ErrBudgetExhausted, pol.Budget, opErr))
+				return
+			}
+			e.RetriesN++
+			e.cRetries.Inc()
+			e.schedule(delay, span, func() { attempt(n + 1) })
+		}
+		if !br.Allow() {
+			e.cFastFail.Inc()
+			settle(fmt.Errorf("%w: %s", ErrBreakerOpen, br.Name()))
+			return
+		}
+		admitted = true
+		e.AttemptsN++
+		e.cAttempts.Inc()
+		if pol.AttemptTimeout > 0 {
+			deadline = e.eng.Schedule(pol.AttemptTimeout, func() {
+				settle(ErrAttemptTimeout)
+			})
+		}
+		op(n, settle)
+	}
+	restore := e.tr.EnterScope(span)
+	defer restore()
+	attempt(1)
+}
+
+// schedule runs fn after delay, attributed to span when tracing is on.
+func (e *Executor) schedule(delay time.Duration, span obs.SpanContext, fn func()) {
+	if e.tr != nil {
+		e.tr.Schedule(delay, span, fn)
+		return
+	}
+	e.eng.Schedule(delay, fn)
+}
+
+// Kit bundles one federation's resilience machinery: a shared executor,
+// the per-site breaker set, and the lease renewer, all over one engine
+// and one forked rand stream.
+type Kit struct {
+	Retry    *Executor
+	Breakers *BreakerSet
+	Renewer  *Renewer
+}
+
+// NewKit builds the standard kit: default policy and breaker config,
+// renewal at the default lead fraction. The tracer may be nil.
+func NewKit(eng *sim.Engine, rng *rand.Rand, tr *obs.Tracer) *Kit {
+	ex := NewExecutor(eng, rng, DefaultPolicy(), tr)
+	return &Kit{
+		Retry:    ex,
+		Breakers: NewBreakerSet(eng, DefaultBreakerConfig(), tr),
+		Renewer:  NewRenewer(eng, ex, RenewerConfig{}, tr),
+	}
+}

@@ -6,6 +6,13 @@
 // by the user community" (§2.2) — this is the management half of such a
 // service, and the live counterpart of experiment E10's availability
 // math.
+//
+// The manager owns its leases end to end: every deployment's SHARP
+// leases are recorded, a watchdog enforces their expiry (a PoP whose
+// lease lapsed is down, whatever the VM thinks), and — when a resilience
+// kit is installed — a keepalive loop renews them before they lapse,
+// retries failed deployments with deterministic backoff, and skips
+// failover candidates whose circuit breaker has written the site off.
 package servicemgr
 
 import (
@@ -17,6 +24,8 @@ import (
 	"repro/internal/broker"
 	"repro/internal/identity"
 	"repro/internal/obs"
+	"repro/internal/resilience"
+	"repro/internal/sharp"
 	"repro/internal/sim"
 	"repro/internal/vm"
 )
@@ -25,6 +34,8 @@ import (
 var (
 	ErrAlreadyStarted = errors.New("servicemgr: already started")
 	ErrNoSpareSites   = errors.New("servicemgr: no spare site with stock")
+
+	errDeployFailed = errors.New("servicemgr: deploy attempt failed")
 )
 
 // Config shapes a managed service.
@@ -47,13 +58,20 @@ type Manager struct {
 	eng *sim.Engine
 	dep *broker.Deployer
 	sm  *identity.Principal
+	kit *resilience.Kit
 
-	active map[string]*vm.Slice // site -> its single-VM slice
-	downAt map[string]time.Duration
+	active   map[string]*vm.Slice // site -> its single-VM slice
+	downAt   map[string]time.Duration
+	leases   map[string][]*sharp.Lease
+	leaseExp map[string]time.Duration // site -> earliest lease NotAfter
+	watchdog map[string]*sim.Event
+	retrying map[string]bool // a background deploy retry is in flight
 
-	// RedeployN counts failure-driven redeployments; DegradedTime
+	// RedeployN counts failure-driven redeployments; LeaseLapsedN counts
+	// PoPs torn down because their lease expired under them; DegradedTime
 	// accumulates time spent below Target strength.
 	RedeployN     int
+	LeaseLapsedN  int
 	DegradedTime  time.Duration
 	degraded      bool
 	degradedSince time.Duration
@@ -62,6 +80,7 @@ type Manager struct {
 	// Observability handles (inert when no tracer is installed).
 	tr                     *obs.Tracer
 	cRedeploys, cFailovers *obs.Counter
+	cLapses                *obs.Counter
 }
 
 // SetTracer installs an observability tracer. A nil tracer (the default)
@@ -70,18 +89,28 @@ func (m *Manager) SetTracer(tr *obs.Tracer) {
 	m.tr = tr
 	m.cRedeploys = tr.Counter("svc.redeploys")
 	m.cFailovers = tr.Counter("svc.site_failures")
+	m.cLapses = tr.Counter("svc.lease_lapses")
 	tr.GaugeFunc("svc."+m.cfg.Name+".running", func() float64 { return float64(m.Running()) })
 }
+
+// SetResilience installs the federation's resilience kit: lease
+// keepalive, deploy retry, and breaker-gated failover. Call before
+// Start.
+func (m *Manager) SetResilience(kit *resilience.Kit) { m.kit = kit }
 
 // New builds a manager over an (already stocked) deployer.
 func New(eng *sim.Engine, dep *broker.Deployer, sm *identity.Principal, cfg Config) *Manager {
 	return &Manager{
-		cfg:    cfg,
-		eng:    eng,
-		dep:    dep,
-		sm:     sm,
-		active: make(map[string]*vm.Slice),
-		downAt: make(map[string]time.Duration),
+		cfg:      cfg,
+		eng:      eng,
+		dep:      dep,
+		sm:       sm,
+		active:   make(map[string]*vm.Slice),
+		downAt:   make(map[string]time.Duration),
+		leases:   make(map[string][]*sharp.Lease),
+		leaseExp: make(map[string]time.Duration),
+		watchdog: make(map[string]*sim.Event),
+		retrying: make(map[string]bool),
 	}
 }
 
@@ -115,16 +144,174 @@ func (m *Manager) Start() error {
 	return nil
 }
 
+// tryDeploy attempts one site now; on failure (with a kit installed) a
+// background retry keeps working the site under the kit's policy.
 func (m *Manager) tryDeploy(site string) bool {
+	if m.deployOnce(site) {
+		return true
+	}
+	m.scheduleRetry(site)
+	return false
+}
+
+// deployOnce is a single deployment attempt: on success the site's
+// leases go under watchdog (and keepalive, when a kit is present).
+func (m *Manager) deployOnce(site string) bool {
 	now := m.eng.Now()
-	slice, err := m.dep.DeploySlice(
+	res, err := m.dep.DeploySlice(
 		fmt.Sprintf("%s@%s", m.cfg.Name, site), m.sm,
 		m.cfg.CPUPerSite, now, now+m.cfg.Lease, []string{site})
 	if err != nil {
 		return false
 	}
-	m.active[site] = slice
+	m.active[site] = res.Slice
+	m.leases[site] = res.Leases[site]
+	m.armLease(site)
 	return true
+}
+
+// scheduleRetry keeps a failed deployment alive in the background: each
+// attempt re-checks that the site is still wanted, so a retry whose site
+// came up some other way (or whose service stopped) ends quietly.
+func (m *Manager) scheduleRetry(site string) {
+	if m.kit == nil || m.retrying[site] {
+		return
+	}
+	m.retrying[site] = true
+	m.kit.Retry.Do("svc.deploy."+site, nil,
+		func(_ int, done func(error)) {
+			if !m.wantsSite(site) {
+				done(nil)
+				return
+			}
+			if m.deployOnce(site) {
+				done(nil)
+				return
+			}
+			done(fmt.Errorf("%w: %s", errDeployFailed, site))
+		},
+		func(error) {
+			m.retrying[site] = false
+			m.accountStrength()
+		})
+}
+
+// wantsSite reports whether a background retry should still pursue the
+// site.
+func (m *Manager) wantsSite(site string) bool {
+	if !m.started || m.Running() >= m.cfg.Target {
+		return false
+	}
+	if _, isActive := m.active[site]; isActive {
+		return false
+	}
+	if _, isDown := m.downAt[site]; isDown {
+		return false
+	}
+	return true
+}
+
+// armLease records the site's lease horizon, arms the expiry watchdog,
+// and (with a kit) starts keepalive renewal at the configured lead.
+func (m *Manager) armLease(site string) {
+	leases := m.leases[site]
+	if len(leases) == 0 {
+		return
+	}
+	exp := leases[0].NotAfter
+	for _, l := range leases[1:] {
+		if l.NotAfter < exp {
+			exp = l.NotAfter
+		}
+	}
+	m.leaseExp[site] = exp
+	m.armWatchdog(site, exp)
+	if m.kit != nil {
+		// No breaker at the executor layer: RenewLease runs the deployer's
+		// own connectivity gate over the same breaker, and gating twice
+		// would have the two layers fight over the half-open probe slot.
+		m.kit.Renewer.Track(site, exp, m.cfg.Lease, nil, m.renewSite(site))
+	}
+}
+
+// armWatchdog (re)schedules lease-expiry enforcement for a site.
+func (m *Manager) armWatchdog(site string, exp time.Duration) {
+	if ev, ok := m.watchdog[site]; ok {
+		m.eng.Cancel(ev)
+	}
+	at := exp
+	if now := m.eng.Now(); at < now {
+		at = now
+	}
+	m.watchdog[site] = m.eng.At(at, func() { m.leaseExpired(site, exp) })
+}
+
+// renewSite returns the keepalive callback for one site: extend every
+// lease backing the PoP to the target, then push the watchdog out.
+func (m *Manager) renewSite(site string) resilience.RenewFunc {
+	return func(target time.Duration, done func(error)) {
+		leases := m.leases[site]
+		if len(leases) == 0 {
+			done(nil)
+			return
+		}
+		for _, l := range leases {
+			if err := m.dep.RenewLease(m.sm, l, target); err != nil {
+				done(err)
+				return
+			}
+		}
+		m.leaseExp[site] = target
+		m.armWatchdog(site, target)
+		done(nil)
+	}
+}
+
+// leaseExpired is the watchdog: a PoP whose lease lapsed loses its
+// resources, so the VM is stopped and the site vacated. The exp guard
+// makes stale events (a renewal landed after this fired was scheduled)
+// no-ops.
+func (m *Manager) leaseExpired(site string, exp time.Duration) {
+	if cur, ok := m.leaseExp[site]; !ok || cur != exp {
+		return
+	}
+	delete(m.watchdog, site)
+	if _, ok := m.active[site]; !ok {
+		return
+	}
+	var span obs.SpanContext
+	if m.tr != nil {
+		span = m.tr.Begin("svc.lease_lapse",
+			obs.String("service", m.cfg.Name), obs.String("site", site))
+	}
+	restore := m.tr.EnterScope(span)
+	defer restore()
+	m.LeaseLapsedN++
+	m.cLapses.Inc()
+	m.vacate(site)
+	m.accountStrength()
+	span.End()
+}
+
+// vacate tears down one site's PoP and all its lease bookkeeping: the
+// VM stops, the leases go back to the authority (releasing an already
+// lapsed lease just closes its audit record), the watchdog and
+// keepalive stand down.
+func (m *Manager) vacate(site string) {
+	if slice, ok := m.active[site]; ok {
+		slice.StopAll()
+		delete(m.active, site)
+	}
+	if ev, ok := m.watchdog[site]; ok {
+		m.eng.Cancel(ev)
+		delete(m.watchdog, site)
+	}
+	m.dep.ReleaseLeases(m.leases[site])
+	delete(m.leases, site)
+	delete(m.leaseExp, site)
+	if m.kit != nil {
+		m.kit.Renewer.Untrack(site)
+	}
 }
 
 // Target returns the configured desired strength.
@@ -147,6 +334,24 @@ func (m *Manager) ActiveSites() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// LeaseHorizon reports when the site's earliest lease expires (ok=false
+// when the site holds no leases). Invariant audits use this: an active
+// PoP at a healthy site must never be past its horizon.
+func (m *Manager) LeaseHorizon(site string) (time.Duration, bool) {
+	exp, ok := m.leaseExp[site]
+	return exp, ok
+}
+
+// DegradedSoFar returns degraded time including any open below-target
+// interval, so availability can be computed mid-run without closing the
+// books.
+func (m *Manager) DegradedSoFar() time.Duration {
+	if m.degraded {
+		return m.DegradedTime + (m.eng.Now() - m.degradedSince)
+	}
+	return m.DegradedTime
 }
 
 // accountStrength tracks degraded time: below-target intervals are
@@ -172,10 +377,19 @@ func (m *Manager) closeAccounting() {
 	}
 }
 
+// breakerReady reports whether the site's breaker admits new work (true
+// when no kit is installed).
+func (m *Manager) breakerReady(site string) bool {
+	if m.kit == nil {
+		return true
+	}
+	return m.kit.Breakers.For(site).Ready()
+}
+
 // SiteFailed informs the manager that a site died: its VM is torn down
-// and a spare candidate (not active, not recently failed, with broker
-// stock) takes its place. Returns the replacement site, or an error when
-// the service must run degraded.
+// and a spare candidate (not active, not recently failed, not written
+// off by its breaker, with broker stock) takes its place. Returns the
+// replacement site, or an error when the service must run degraded.
 func (m *Manager) SiteFailed(site string) (string, error) {
 	var span obs.SpanContext
 	if m.tr != nil {
@@ -186,9 +400,8 @@ func (m *Manager) SiteFailed(site string) (string, error) {
 	defer restore()
 	m.cFailovers.Inc()
 	m.downAt[site] = m.eng.Now()
-	if slice, ok := m.active[site]; ok {
-		slice.StopAll()
-		delete(m.active, site)
+	if _, ok := m.active[site]; ok {
+		m.vacate(site)
 	}
 	m.accountStrength()
 	for _, cand := range m.cfg.Candidates {
@@ -199,6 +412,9 @@ func (m *Manager) SiteFailed(site string) (string, error) {
 			continue
 		}
 		if _, isDown := m.downAt[cand]; isDown {
+			continue
+		}
+		if !m.breakerReady(cand) {
 			continue
 		}
 		if m.dep.Inventory(cand) < m.cfg.CPUPerSite {
@@ -223,8 +439,9 @@ func (m *Manager) SiteRecovered(site string) {
 
 // Reconcile is the repair pass fault recovery hooks call after sites come
 // back: dead slices are pruned and spare candidates (not active, not
-// marked down, with stock) are deployed until the service is back at
-// Target strength. It returns the number of new deployments.
+// marked down, breaker-admitted, with stock) are deployed until the
+// service is back at Target strength. It returns the number of new
+// deployments.
 func (m *Manager) Reconcile() int {
 	if !m.started {
 		return 0
@@ -237,8 +454,7 @@ func (m *Manager) Reconcile() int {
 	defer restore()
 	for _, site := range m.ActiveSites() {
 		if m.active[site].Running() == 0 {
-			m.active[site].StopAll()
-			delete(m.active, site)
+			m.vacate(site)
 		}
 	}
 	n := 0
@@ -250,6 +466,9 @@ func (m *Manager) Reconcile() int {
 			continue
 		}
 		if _, isDown := m.downAt[cand]; isDown {
+			continue
+		}
+		if !m.breakerReady(cand) {
 			continue
 		}
 		if m.dep.Inventory(cand) < m.cfg.CPUPerSite {
@@ -268,9 +487,8 @@ func (m *Manager) Reconcile() int {
 
 // Stop tears the whole service down, closing the degraded-time books.
 func (m *Manager) Stop() {
-	for site, slice := range m.active {
-		slice.StopAll()
-		delete(m.active, site)
+	for _, site := range m.ActiveSites() {
+		m.vacate(site)
 	}
 	m.closeAccounting()
 }

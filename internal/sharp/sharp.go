@@ -42,7 +42,21 @@ var (
 	ErrNotHolder     = errors.New("sharp: delegator is not the ticket holder")
 	ErrInventory     = errors.New("sharp: agent inventory insufficient")
 	ErrWrongSite     = errors.New("sharp: ticket names a different site")
+	ErrUnknownLease  = errors.New("sharp: unknown or released lease")
+	ErrRenewAmount   = errors.New("sharp: renewal tickets cover less than the lease amount")
+	ErrRenewGap      = errors.New("sharp: renewal ticket starts after the lease ends")
+	ErrNotExtended   = errors.New("sharp: renewal does not extend the lease")
 )
+
+// RedeemGrace is the near-expiry guard on redeem and renew: a ticket
+// whose leaf expires within one delivery quantum of the verification
+// clock is rejected as ErrExpired outright. Without it, a redeem racing
+// notAfter by less than one engine tick would succeed or fail depending
+// on event-queue ordering — legal either way, but not deterministic
+// under instrumentation-induced reorderings. One millisecond is simnet's
+// minimum propagation delay, so no remote caller can observe the
+// difference.
+const RedeemGrace = time.Millisecond
 
 // Claim is one signed delegation step.
 type Claim struct {
@@ -232,13 +246,16 @@ type Authority struct {
 	records  []*LeaseRecord
 	recordOf map[string]*LeaseRecord // lease ID -> record
 
-	// IssuedN, RedeemOK, RedeemConflict count outcomes for E9.
+	// IssuedN, RedeemOK, RedeemConflict count outcomes for E9;
+	// RenewOK/RenewRej count lease renewals.
 	IssuedN, RedeemOK, RedeemConflict int
+	RenewOK, RenewRej                 int
 
 	// Observability handles (inert when no tracer is installed).
 	tr                                     *obs.Tracer
 	cIssued, cIssueRejected                *obs.Counter
 	cRedeemOK, cRedeemConflict, cRedeemRej *obs.Counter
+	cRenewOK, cRenewRej                    *obs.Counter
 }
 
 // LeaseRecord is the authority-side audit entry for one granted lease: the
@@ -251,6 +268,11 @@ type LeaseRecord struct {
 	RootNotAfter  time.Duration
 	RedeemedAt    time.Duration
 	Released      bool
+	// Renewals counts successful Renew calls against this lease; the
+	// leaf/root terms above advance with each one so the containment
+	// invariant keeps holding against the freshest redeemed ticket.
+	Renewals      int
+	LastRenewedAt time.Duration
 }
 
 // NewAuthority creates a site authority over the given capacity. The
@@ -286,6 +308,8 @@ func (a *Authority) SetTracer(tr *obs.Tracer) {
 	a.cRedeemOK = tr.Counter("sharp.redeem.ok")
 	a.cRedeemConflict = tr.Counter("sharp.redeem.conflict")
 	a.cRedeemRej = tr.Counter("sharp.redeem.rejected")
+	a.cRenewOK = tr.Counter("sharp.renew.ok")
+	a.cRenewRej = tr.Counter("sharp.renew.rejected")
 }
 
 // SetClockSkew skews the authority's validity clock: Redeem verifies
@@ -376,6 +400,13 @@ func (a *Authority) Redeem(t *Ticket) (*Lease, error) {
 		return nil, err
 	}
 	leaf := t.Leaf()
+	if leaf.NotAfter-now <= RedeemGrace {
+		a.cRedeemRej.Inc()
+		err := fmt.Errorf("%w: %v left of ticket term is inside the %v redeem grace",
+			ErrExpired, leaf.NotAfter-now, RedeemGrace)
+		span.End(obs.Err(err))
+		return nil, err
+	}
 	h := leaf.Hash()
 	if a.redeemed[h] {
 		a.cRedeemRej.Inc()
@@ -428,6 +459,102 @@ func (a *Authority) ReleaseLease(l *Lease) {
 	if rec, ok := a.recordOf[l.ID]; ok {
 		rec.Released = true
 	}
+}
+
+// Renew extends a live lease using fresh tickets — the soft-state
+// refresh the paper's short-lifetime tradeoff presumes. The holder
+// presents one or more valid tickets for the same site/type whose
+// amounts sum to at least the lease amount; the lease (and its backing
+// capability) is extended to the earliest of the tickets' leaf expiries,
+// and each ticket is marked spent. No new capacity is committed — the
+// lease keeps the resources it holds, just for longer — so renewal can
+// never fail on a capacity conflict, only on verification.
+//
+// Containment bookkeeping: the lease's audit record advances its
+// leaf/root terms to the renewal tickets' (so the lease-term invariant
+// keeps holding), increments Renewals, and stamps LastRenewedAt.
+func (a *Authority) Renew(leaseID string, tickets ...*Ticket) (*Lease, error) {
+	var span obs.SpanContext
+	if a.tr != nil {
+		span = a.tr.Begin("sharp.renew",
+			obs.String("site", a.Site), obs.String("lease", leaseID),
+			obs.Int("tickets", len(tickets)))
+	}
+	fail := func(err error) (*Lease, error) {
+		a.RenewRej++
+		a.cRenewRej.Inc()
+		span.End(obs.Err(err))
+		return nil, err
+	}
+	rec, ok := a.recordOf[leaseID]
+	if !ok || rec.Released {
+		return fail(fmt.Errorf("%w: %s", ErrUnknownLease, leaseID))
+	}
+	lease := rec.Lease
+	now := a.eng.Now() + a.skew
+	if now >= lease.NotAfter {
+		return fail(fmt.Errorf("%w: lease lapsed at %v", ErrExpired, lease.NotAfter))
+	}
+	if len(tickets) == 0 {
+		return fail(fmt.Errorf("%w: no tickets presented", ErrRenewAmount))
+	}
+	var total float64
+	target := time.Duration(1<<63 - 1)
+	rootNotAfter := target
+	for _, t := range tickets {
+		if t.Root() != nil && t.Root().Site != a.Site {
+			return fail(ErrWrongSite)
+		}
+		if err := t.Verify(a.signer.Public(), now); err != nil {
+			return fail(err)
+		}
+		leaf := t.Leaf()
+		if leaf.NotAfter-now <= RedeemGrace {
+			return fail(fmt.Errorf("%w: %v left of ticket term is inside the %v redeem grace",
+				ErrExpired, leaf.NotAfter-now, RedeemGrace))
+		}
+		if leaf.Type != lease.Type {
+			return fail(fmt.Errorf("%w: ticket type %v, lease type %v", ErrBadChain, leaf.Type, lease.Type))
+		}
+		if leaf.NotBefore > lease.NotAfter {
+			return fail(fmt.Errorf("%w: ticket starts %v, lease ends %v", ErrRenewGap, leaf.NotBefore, lease.NotAfter))
+		}
+		if a.redeemed[leaf.Hash()] {
+			return fail(ErrDoubleSpend)
+		}
+		total += leaf.Amount
+		if leaf.NotAfter < target {
+			target = leaf.NotAfter
+		}
+		if t.Root().NotAfter < rootNotAfter {
+			rootNotAfter = t.Root().NotAfter
+		}
+	}
+	if total < lease.Amount-1e-9 {
+		return fail(fmt.Errorf("%w: tickets total %.2f, lease %.2f", ErrRenewAmount, total, lease.Amount))
+	}
+	if target <= lease.NotAfter {
+		return fail(fmt.Errorf("%w: tickets end %v, lease already ends %v", ErrNotExtended, target, lease.NotAfter))
+	}
+	if err := a.nm.Extend(lease.CapID, target); err != nil {
+		return fail(err)
+	}
+	for _, t := range tickets {
+		a.redeemed[t.Leaf().Hash()] = true
+	}
+	lease.NotAfter = target
+	if target > rec.LeafNotAfter {
+		rec.LeafNotAfter = target
+	}
+	if rootNotAfter > rec.RootNotAfter {
+		rec.RootNotAfter = rootNotAfter
+	}
+	rec.Renewals++
+	rec.LastRenewedAt = a.eng.Now()
+	a.RenewOK++
+	a.cRenewOK.Inc()
+	span.End(obs.Dur("not_after", target))
+	return lease, nil
 }
 
 // Agent is a SHARP broker: it accumulates tickets from site authorities

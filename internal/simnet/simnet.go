@@ -36,6 +36,14 @@ var (
 	ErrZeroCapacity = errors.New("simnet: zero-capacity path")
 )
 
+// IsTransient reports whether a control-plane error is worth retrying:
+// timeouts, partitions, and down hosts all heal (or a circuit breaker
+// gives up first), while refusals — no such host, no handler, and
+// application errors — are answers, not outages.
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrTimeout) || errors.Is(err, ErrPartitioned) || errors.Is(err, ErrHostDown)
+}
+
 // Site is a named location with coordinates in "latency space": the
 // propagation delay between two sites is the Euclidean distance between
 // their coordinates, interpreted in milliseconds, plus 1ms.
