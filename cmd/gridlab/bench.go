@@ -1,0 +1,68 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/perf/bench"
+	"repro/internal/perf/benches"
+)
+
+// runBench measures the registered benchmark specs (sim-kernel micro +
+// chaos-sweep macro), optionally emits JSON, and optionally compares
+// against a committed baseline, failing on large regressions:
+//
+//	gridlab bench -json -o BENCH_baseline.json        # record a baseline
+//	gridlab bench -benchtime 100x -baseline BENCH_baseline.json
+func runBench() error {
+	results, err := bench.RunSpecs(benches.All(), *benchTime)
+	if err != nil {
+		return err
+	}
+
+	out := os.Stdout
+	if *benchOut != "" {
+		fp, err := os.Create(*benchOut)
+		if err != nil {
+			return err
+		}
+		defer fp.Close()
+		out = fp
+	}
+	if *benchJSON || *benchOut != "" {
+		if err := bench.WriteJSON(out, results); err != nil {
+			return err
+		}
+	} else {
+		for _, r := range results {
+			fmt.Fprintf(out, "%-28s %14.0f ns/op %8d allocs/op %12d B/op", r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+			if r.EventsPerSec > 0 {
+				fmt.Fprintf(out, " %12.0f events/s", r.EventsPerSec)
+			}
+			if r.SweepsPerSec > 0 {
+				fmt.Fprintf(out, " %8.2f sweeps/s", r.SweepsPerSec)
+			}
+			fmt.Fprintln(out)
+		}
+	}
+
+	if *benchBase != "" {
+		fp, err := os.Open(*benchBase)
+		if err != nil {
+			return err
+		}
+		baseline, err := bench.ReadJSON(fp)
+		fp.Close()
+		if err != nil {
+			return err
+		}
+		if regs := bench.Compare(results, baseline, *benchRatio); len(regs) > 0 {
+			for _, reg := range regs {
+				fmt.Fprintf(os.Stderr, "regression: %s\n", reg)
+			}
+			return fmt.Errorf("%d benchmark regression(s) vs %s", len(regs), *benchBase)
+		}
+		fmt.Fprintf(os.Stderr, "no regressions vs %s (allowed ratio %.1fx)\n", *benchBase, *benchRatio)
+	}
+	return nil
+}

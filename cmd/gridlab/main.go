@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faultlab"
 	"repro/internal/obs"
+	"repro/internal/perf/chaos"
 )
 
 var (
@@ -30,9 +31,17 @@ var (
 	resilience = flag.Bool("resilience", false, "chaos: enable the retry/breaker/keepalive kit")
 	leaseTerm  = flag.Duration("lease", 0, "chaos: service lease term (0 = one lease outliving the run)")
 	reconcile  = flag.Duration("reconcile", 0, "chaos: periodic repair-pass interval (0 = event-driven only)")
-	traceOut   = flag.String("o", "", "trace: output file (default stdout)")
+	traceOut   = flag.String("o", "", "trace/bench: output file (default stdout)")
 	traceFmt   = flag.String("format", "jsonl", "trace: export format (jsonl|chrome|timeline)")
+	workers    = flag.Int("workers", 1, "sweep fan-out: worker goroutines (0 = GOMAXPROCS; output is identical at any count)")
+	benchTime  = flag.String("benchtime", "", "bench: per-benchmark time or iteration budget (e.g. 1s, 100x)")
+	benchJSON  = flag.Bool("json", false, "bench: emit JSON instead of the aligned text report")
+	benchBase  = flag.String("baseline", "", "bench: baseline JSON file to compare against (fail on regression)")
+	benchRatio = flag.Float64("maxratio", 2.0, "bench: allowed ns/op ratio vs baseline before failing")
 )
+
+// benchOut aliases -o for the bench subcommand (shared with trace).
+var benchOut = traceOut
 
 // traceScenario is the positional operand of `gridlab trace`.
 var traceScenario = "fig2"
@@ -51,21 +60,21 @@ func commands() []command {
 		{"fig1", "Figure 1: site autonomy vs VO-level functionality", func() error {
 			core.RenderFigure1(os.Stdout, *seed, 12)
 			fmt.Println("\nSweep over homogeneous autonomy demand alpha:")
-			core.Figure1Sweep(*seed, 8, []float64{0.1, 0.3, 0.5, 0.7, 0.9}).Render(os.Stdout)
+			core.Figure1SweepParallel(*seed, 8, []float64{0.1, 0.3, 0.5, 0.7, 0.9}, *workers).Render(os.Stdout)
 			return nil
 		}},
 		{"fig2", "Figure 2: SHARP ticket -> lease -> VM protocol trace", func() error {
 			return core.RenderFigure2(os.Stdout, *seed)
 		}},
 		{"scale", "E3: federation scale sweep (paper: GT 20-50 sites, PlanetLab 155 -> ~1000)", func() error {
-			core.RunScale(*seed, []int{10, 50, 100, 200, 500, 1000}).Render(os.Stdout)
+			core.RunScaleParallel(*seed, []int{10, 50, 100, 200, 500, 1000}, *workers).Render(os.Stdout)
 			return nil
 		}},
 		{"proxylife", "E4: proxy-certificate lifetime tradeoff", func() error {
-			core.RunProxyLifetime(*seed, []time.Duration{
+			core.RunProxyLifetimeParallel(*seed, []time.Duration{
 				time.Hour, 2 * time.Hour, 4 * time.Hour, 8 * time.Hour,
 				16 * time.Hour, 32 * time.Hour, 64 * time.Hour,
-			}, 500).Render(os.Stdout)
+			}, 500, *workers).Render(os.Stdout)
 			return nil
 		}},
 		{"delegation", "E5: identity vs usage delegation under policy churn", func() error {
@@ -77,19 +86,19 @@ func commands() []command {
 			return nil
 		}},
 		{"allocation", "E6: best-effort vs reserved; FCFS port conflicts", func() error {
-			core.RunAllocation(*seed, 10, 300).Render(os.Stdout)
+			core.RunAllocationParallel(*seed, 10, 300, *workers).Render(os.Stdout)
 			return nil
 		}},
 		{"hetero", "E7: heterogeneity glue cost vs uniform node interface", func() error {
-			core.RunHeterogeneity(*seed, []int{0, 1, 2, 4, 8}, 200).Render(os.Stdout)
+			core.RunHeterogeneityParallel(*seed, []int{0, 1, 2, 4, 8}, 200, *workers).Render(os.Stdout)
 			return nil
 		}},
 		{"datagrid", "E8: striped GridFTP +/- PlanetLab multipath overlay", func() error {
-			core.RunDataGrid(*seed, 1e9, []float64{0, 0.005, 0.01, 0.02}, []int{1, 2, 4, 8, 16}).Render(os.Stdout)
+			core.RunDataGridParallel(*seed, 1e9, []float64{0, 0.005, 0.01, 0.02}, []int{1, 2, 4, 8, 16}, *workers).Render(os.Stdout)
 			return nil
 		}},
 		{"oversub", "E9: SHARP ticket oversubscription sweep", func() error {
-			core.RunOversub(*seed, []float64{0.5, 1.0, 1.5, 2.0, 2.5, 3.0}).Render(os.Stdout)
+			core.RunOversubParallel(*seed, []float64{0.5, 1.0, 1.5, 2.0, 2.5, 3.0}, *workers).Render(os.Stdout)
 			return nil
 		}},
 		{"avail", "E10/E11: availability under failures (analytic + managed service)", func() error {
@@ -115,7 +124,7 @@ func commands() []command {
 			cfg.Lease = *leaseTerm
 			cfg.ReconcileEvery = *reconcile
 			if *sweep > 0 {
-				res := faultlab.Sweep(*seed, *sweep, faultlab.Profiles(), cfg)
+				res := chaos.Sweep(*seed, *sweep, faultlab.Profiles(), cfg, *workers)
 				fmt.Print(res)
 				if !res.OK() {
 					return fmt.Errorf("invariant violations found")
@@ -146,6 +155,7 @@ func commands() []command {
 			return nil
 		}},
 		{"trace", "run a scenario (fig2|delegation|chaos) with tracing on and export the trace", runTrace},
+		{"bench", "kernel micro- and sweep macro-benchmarks with baseline regression check", runBench},
 		{"recs", "§6 recommendations mapped to their demonstrations in this repo", func() error {
 			core.RenderRecommendations(os.Stdout)
 			return nil
@@ -196,8 +206,8 @@ func main() {
 	cmds := commands()
 	if name == "all" {
 		for _, c := range cmds {
-			if c.name == "trace" {
-				continue // exports a machine-readable file, not a report
+			if c.name == "trace" || c.name == "bench" {
+				continue // machine-readable exports / measurements, not reports
 			}
 			fmt.Printf("==== %s: %s ====\n", c.name, c.desc)
 			if err := c.run(); err != nil {

@@ -135,7 +135,7 @@ type Agreement struct {
 
 	state  State
 	handle any
-	expiry *sim.Event
+	expiry sim.Event
 }
 
 // State returns the agreement state (monitoring interface).
@@ -276,9 +276,7 @@ func (r *Responder) handleTerminate(from string, raw any) (any, error) {
 		a.state = Terminated
 		r.enforce.Release(a.handle)
 		a.handle = nil
-		if a.expiry != nil {
-			r.eng.Cancel(a.expiry)
-		}
+		r.eng.Cancel(a.expiry)
 	}
 	return Ack{ID: id, State: a.state}, nil
 }
@@ -312,10 +310,8 @@ func (r *Responder) handleRenegotiate(from string, raw any) (any, error) {
 	r.enforce.Release(a.handle)
 	a.handle = newHandle
 	a.Offer = req.Offer
-	if a.expiry != nil {
-		r.eng.Cancel(a.expiry)
-		a.expiry = nil
-	}
+	r.eng.Cancel(a.expiry)
+	a.expiry = sim.Event{}
 	if req.Offer.Lifetime > 0 {
 		a.Expires = r.eng.Now() + req.Offer.Lifetime
 		a.expiry = r.eng.Schedule(req.Offer.Lifetime, func() { r.complete(a) })

@@ -83,48 +83,50 @@ func fig1Sites(n int) []SiteSpec {
 // functionality / low autonomy, Globus the reverse — emerges from which
 // probes mechanically succeed.
 func Figure1(seed int64, nSites int) []Fig1Point {
-	if nSites < 4 {
-		nSites = 4
+	return Figure1Parallel(seed, nSites, 1)
+}
+
+// fig1Point builds one stack over the mixed population and measures it;
+// each call owns a private federation.
+func fig1Point(seed int64, nSites int, stack Stack) Fig1Point {
+	f := Build(stack, Config{Seed: seed}, fig1Sites(nSites))
+	rep := RunProbes(f)
+	return Fig1Point{
+		Stack:         stack,
+		Autonomy:      f.MeanAutonomy(),
+		Functionality: rep.Score(),
+		Participation: f.Participation(),
+		Effective:     rep.Score() * f.Participation(),
 	}
-	var pts []Fig1Point
-	for _, stack := range []Stack{StackGlobus, StackPlanetLab} {
-		f := Build(stack, Config{Seed: seed}, fig1Sites(nSites))
-		rep := RunProbes(f)
-		pts = append(pts, Fig1Point{
-			Stack:         stack,
-			Autonomy:      f.MeanAutonomy(),
-			Functionality: rep.Score(),
-			Participation: f.Participation(),
-			Effective:     rep.Score() * f.Participation(),
-		})
-	}
-	return pts
 }
 
 // Figure1Sweep sweeps a homogeneous population's autonomy demand alpha
 // and reports each stack's effective functionality — the quantitative
 // form of the Figure-1 tradeoff curve.
 func Figure1Sweep(seed int64, nSites int, alphas []float64) *metrics.Table {
-	t := metrics.NewTable("alpha", "stack", "joined", "functionality", "effective")
-	for _, alpha := range alphas {
-		specs := make([]SiteSpec, nSites)
-		for i := range specs {
-			specs[i] = SiteSpec{
-				Name:         fmt.Sprintf("s%02d", i),
-				X:            float64(5 * (i + 1)),
-				Y:            10,
-				Nodes:        2,
-				ClusterSlots: 8,
-				Policy:       GradedPolicy(alpha),
-			}
-		}
-		for _, stack := range []Stack{StackGlobus, StackPlanetLab} {
-			f := Build(stack, Config{Seed: seed}, specs)
-			rep := RunProbes(f)
-			t.AddRow(alpha, stack.String(), len(f.JoinedSites()), rep.Score(), rep.Score()*f.Participation())
+	return Figure1SweepParallel(seed, nSites, alphas, 1)
+}
+
+// fig1SweepRows computes both stack rows for one autonomy demand alpha.
+func fig1SweepRows(seed int64, nSites int, alpha float64) [][]any {
+	specs := make([]SiteSpec, nSites)
+	for i := range specs {
+		specs[i] = SiteSpec{
+			Name:         fmt.Sprintf("s%02d", i),
+			X:            float64(5 * (i + 1)),
+			Y:            10,
+			Nodes:        2,
+			ClusterSlots: 8,
+			Policy:       GradedPolicy(alpha),
 		}
 	}
-	return t
+	var rows [][]any
+	for _, stack := range []Stack{StackGlobus, StackPlanetLab} {
+		f := Build(stack, Config{Seed: seed}, specs)
+		rep := RunProbes(f)
+		rows = append(rows, []any{alpha, stack.String(), len(f.JoinedSites()), rep.Score(), rep.Score() * f.Participation()})
+	}
+	return rows
 }
 
 // RenderFigure1 draws the scatter and the per-probe breakdown.

@@ -416,6 +416,20 @@ type SweepResult struct {
 // OK reports a clean sweep.
 func (r *SweepResult) OK() bool { return r.First == nil }
 
+// Add folds one report into the aggregate. Both the sequential Sweep and
+// the parallel executor (internal/perf/chaos) reduce through this method
+// in the same seed-major grid order, which is what makes their results
+// identical at any worker count.
+func (r *SweepResult) Add(rep *Report) {
+	r.Runs++
+	r.ViolationN += len(rep.Violations)
+	r.AvailabilitySum += rep.Availability
+	r.LeaseLapses += rep.LeaseLapses
+	if !rep.OK() && r.First == nil {
+		r.First = rep
+	}
+}
+
 // String summarizes the sweep for CLI output.
 func (r *SweepResult) String() string {
 	var b strings.Builder
@@ -437,14 +451,7 @@ func Sweep(startSeed int64, seeds int, profiles []Profile, cfg ChaosConfig) *Swe
 	res := &SweepResult{}
 	for s := int64(0); s < int64(seeds); s++ {
 		for _, p := range profiles {
-			rep := RunChaos(startSeed+s, p, cfg)
-			res.Runs++
-			res.ViolationN += len(rep.Violations)
-			res.AvailabilitySum += rep.Availability
-			res.LeaseLapses += rep.LeaseLapses
-			if !rep.OK() && res.First == nil {
-				res.First = rep
-			}
+			res.Add(RunChaos(startSeed+s, p, cfg))
 		}
 	}
 	return res

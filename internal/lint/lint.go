@@ -63,6 +63,7 @@ func Analyzers() []*Analyzer {
 		MaporderAnalyzer,
 		ErrdropAnalyzer,
 		JitterrandAnalyzer,
+		EngineraceAnalyzer,
 	}
 }
 

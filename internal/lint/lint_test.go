@@ -108,6 +108,7 @@ func TestGlobalrandCorpus(t *testing.T) { runCorpus(t, "globalrand", GlobalrandA
 func TestMaporderCorpus(t *testing.T)   { runCorpus(t, "maporder", MaporderAnalyzer) }
 func TestErrdropCorpus(t *testing.T)    { runCorpus(t, "errdrop", ErrdropAnalyzer) }
 func TestJitterrandCorpus(t *testing.T) { runCorpus(t, "jitterrand", JitterrandAnalyzer) }
+func TestEngineraceCorpus(t *testing.T) { runCorpus(t, "enginerace", EngineraceAnalyzer) }
 
 // TestJitterrandSkipsResiliencePackage: the guarded package's own files
 // (constructors, tests) may build the literals.
@@ -119,6 +120,26 @@ func TestJitterrandSkipsResiliencePackage(t *testing.T) {
 	if len(res.Findings) != 0 {
 		t.Errorf("jitterrand inside its own package: got %d findings, want 0; first: %v",
 			len(res.Findings), res.Findings[0])
+	}
+}
+
+// TestEngineraceSkipsPerfSubtree: internal/perf and its subpackages own
+// the one-engine-per-worker discipline, so the same goroutine handoffs
+// produce no findings there (including external test variants).
+func TestEngineraceSkipsPerfSubtree(t *testing.T) {
+	loader, pkg := loadCorpus(t, "enginerace")
+	for _, path := range []string{
+		"repro/internal/perf",
+		"repro/internal/perf/chaos",
+		"repro/internal/perf/chaos_test",
+	} {
+		scoped := *pkg
+		scoped.Path = path
+		res := Run(loader.Fset, []*Package{&scoped}, []*Analyzer{EngineraceAnalyzer})
+		if len(res.Findings) != 0 {
+			t.Errorf("enginerace inside %s: got %d findings, want 0; first: %v",
+				path, len(res.Findings), res.Findings[0])
+		}
 	}
 }
 

@@ -1,0 +1,71 @@
+// Package enginerace is gridlint corpus: engines, rng streams, and
+// fault reports are single-goroutine state; handing one to a goroutine
+// (capture, argument, receiver, or channel send) is flagged everywhere
+// outside internal/perf.
+package enginerace
+
+import (
+	"math/rand"
+
+	"repro/internal/faultlab"
+	"repro/internal/sim"
+)
+
+func consumeReport(*faultlab.Report) {}
+
+func BadCaptureEngine(eng *sim.Engine) {
+	go func() {
+		_ = eng.Now() // want "sim.Engine eng captured by a go func literal"
+	}()
+}
+
+func BadCaptureRand(rng *rand.Rand) {
+	go func() {
+		_ = rng.Intn(10) // want "rand.Rand rng captured by a go func literal"
+	}()
+}
+
+func BadGoArg(rep *faultlab.Report) {
+	go consumeReport(rep) // want "faultlab.Report rep passed as a goroutine argument"
+}
+
+func BadGoLitArg(eng *sim.Engine) {
+	go func(e *sim.Engine) { // the parameter itself is goroutine-local
+		_ = e.Now()
+	}(eng) // want "sim.Engine eng passed as a goroutine argument"
+}
+
+func BadGoReceiver(rng *rand.Rand) {
+	go rng.Shuffle(0, func(i, j int) {}) // want "rand.Rand rng is the receiver of a goroutine method call"
+}
+
+func BadChannelSend(ch chan *faultlab.SweepResult, res *faultlab.SweepResult) {
+	ch <- res // want "faultlab.SweepResult res sent over a channel"
+}
+
+func BadChannelSendRand(ch chan *rand.Rand, rng *rand.Rand) {
+	ch <- rng // want "rand.Rand rng sent over a channel"
+}
+
+// GoodSeedHandoff is the sanctioned shape: hand the goroutine a seed and
+// let it build its own private engine and rng.
+func GoodSeedHandoff(seed int64, done chan int64) {
+	go func() {
+		eng := sim.NewEngine(seed)
+		rng := rand.New(rand.NewSource(seed))
+		_ = eng.Now()
+		done <- seed + int64(rng.Intn(10))
+	}()
+}
+
+// GoodSynchronousClosure uses the engine from a closure that never
+// leaves the calling goroutine: no finding.
+func GoodSynchronousClosure(eng *sim.Engine) {
+	run := func() { _ = eng.Now() }
+	run()
+}
+
+// GoodValueSend ships a plain summary value, not the report itself.
+func GoodValueSend(ch chan int, rep *faultlab.Report) {
+	ch <- len(rep.Violations)
+}

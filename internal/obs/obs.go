@@ -248,7 +248,7 @@ func (t *Tracer) EnterScope(ctx SpanContext) func() {
 
 // Schedule is the propagation-preserving twin of Engine.Schedule: fn
 // runs after delay with ctx as the active span.
-func (t *Tracer) Schedule(delay time.Duration, ctx SpanContext, fn func()) *sim.Event {
+func (t *Tracer) Schedule(delay time.Duration, ctx SpanContext, fn func()) sim.Event {
 	if t == nil {
 		panic("obs: Schedule on nil tracer (schedule on the engine directly)")
 	}

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSpecsDerivedRates(t *testing.T) {
+	specs := []Spec{{
+		Name:        "noop",
+		EventsPerOp: 100,
+		Fn: func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = make([]byte, 16)
+			}
+		},
+	}}
+	results, err := RunSpecs(specs, "10x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("got %d results", len(results))
+	}
+	r := results[0]
+	if r.Name != "noop" || r.NsPerOp <= 0 {
+		t.Fatalf("bad result %+v", r)
+	}
+	if r.EventsPerSec <= 0 {
+		t.Fatalf("events/sec not derived: %+v", r)
+	}
+	if r.SweepsPerSec != 0 {
+		t.Fatalf("sweeps/sec should be absent: %+v", r)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	in := []Result{
+		{Name: "a", NsPerOp: 123.5, AllocsPerOp: 7, BytesPerOp: 64, EventsPerSec: 8.1e6},
+		{Name: "b", NsPerOp: 999, SweepsPerSec: 12},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip lost entries: %d vs %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("entry %d: %+v != %+v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	baseline := []Result{
+		{Name: "fast", NsPerOp: 100},
+		{Name: "slow", NsPerOp: 100},
+		{Name: "gone", NsPerOp: 100},
+	}
+	current := []Result{
+		{Name: "fast", NsPerOp: 150},  // 1.5x: within 2x
+		{Name: "slow", NsPerOp: 250},  // 2.5x: regression
+		{Name: "fresh", NsPerOp: 1e9}, // no baseline: ignored
+	}
+	regs := Compare(current, baseline, 2.0)
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions %v, want 1", len(regs), regs)
+	}
+	if regs[0].Name != "slow" || regs[0].Ratio != 2.5 {
+		t.Fatalf("bad regression %+v", regs[0])
+	}
+	if !strings.Contains(regs[0].String(), "slow") {
+		t.Fatalf("String() = %q", regs[0].String())
+	}
+}
+
+func TestCompareEmptyBaseline(t *testing.T) {
+	if regs := Compare([]Result{{Name: "x", NsPerOp: 5}}, nil, 2); regs != nil {
+		t.Fatalf("regressions against empty baseline: %v", regs)
+	}
+}

@@ -1,0 +1,130 @@
+// Package benches registers the concrete benchmark specs the repository
+// tracks for regressions: sim-kernel microbenchmarks (schedule/fire,
+// cancel churn, ticker steady state) and chaos-sweep macrobenchmarks.
+// The same specs back the bench test files (go test -bench) and the
+// gridlab bench subcommand, so the committed BENCH_baseline.json and
+// ad-hoc test runs measure identical bodies.
+package benches
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/faultlab"
+	"repro/internal/perf/bench"
+	"repro/internal/perf/chaos"
+	"repro/internal/sim"
+)
+
+// scheduleFire builds a fresh engine per iteration, schedules n events
+// over a spread of virtual times, and drains the queue — the kernel's
+// push/pop churn path.
+func scheduleFire(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := sim.NewEngine(1)
+			for j := 0; j < n; j++ {
+				e.Schedule(time.Duration(j%997)*time.Millisecond, func() {})
+			}
+			e.Run()
+		}
+	}
+}
+
+// cancelChurn schedules n events, cancels every other one (exercising
+// lazy tombstones and compaction), and drains the rest.
+func cancelChurn(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := sim.NewEngine(1)
+			evs := make([]sim.Event, 0, n)
+			for j := 0; j < n; j++ {
+				evs = append(evs, e.Schedule(time.Duration(j%997)*time.Millisecond, func() {}))
+			}
+			for j := 0; j < len(evs); j += 2 {
+				e.Cancel(evs[j])
+			}
+			e.Run()
+		}
+	}
+}
+
+// ticker drives one ticker for n ticks per iteration — the steady-state
+// node-recycling path, allocation-free after warmup.
+func ticker(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		e := sim.NewEngine(1)
+		count := 0
+		tk := e.NewTicker(time.Second, func() { count++ })
+		defer tk.Stop()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.RunUntil(e.Now() + time.Duration(n)*time.Second)
+		}
+	}
+}
+
+// Kernel returns the sim-kernel microbenchmark specs. sizes lists the
+// schedule/fire churn sizes; Smoke uses the small ones, the bench test
+// files add the 1M-event variant.
+func Kernel(sizes ...int) []bench.Spec {
+	if len(sizes) == 0 {
+		sizes = []int{10_000, 100_000}
+	}
+	var specs []bench.Spec
+	for _, n := range sizes {
+		specs = append(specs, bench.Spec{
+			Name:        benchName("kernel/schedule-fire", n),
+			EventsPerOp: float64(n),
+			Fn:          scheduleFire(n),
+		})
+	}
+	specs = append(specs,
+		bench.Spec{Name: "kernel/cancel-churn-10k", EventsPerOp: 10_000, Fn: cancelChurn(10_000)},
+		bench.Spec{Name: "kernel/ticker-1k", EventsPerOp: 1_000, Fn: ticker(1_000)},
+	)
+	return specs
+}
+
+// Sweep returns the chaos-sweep macrobenchmark: a shrunken scenario
+// (4 sites, 90-minute horizon) over one seed × all profiles, run through
+// the parallel executor at workers=1 so the measurement is the
+// single-run cost, not host parallelism.
+func Sweep() []bench.Spec {
+	cfg := faultlab.DefaultChaosConfig()
+	cfg.Sites = 4
+	cfg.Target = 2
+	cfg.Horizon = 90 * time.Minute
+	cfg.Converge = 15 * time.Minute
+	profiles := faultlab.Profiles()
+	return []bench.Spec{{
+		Name:        "sweep/chaos-small",
+		SweepsPerOp: float64(len(profiles)),
+		Fn: func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				chaos.Sweep(1, 1, profiles, cfg, 1)
+			}
+		},
+	}}
+}
+
+// All returns the full registry the gridlab bench subcommand runs.
+func All() []bench.Spec {
+	return append(Kernel(), Sweep()...)
+}
+
+func benchName(prefix string, n int) string {
+	switch {
+	case n >= 1_000_000 && n%1_000_000 == 0:
+		return fmt.Sprintf("%s-%dm", prefix, n/1_000_000)
+	case n >= 1_000 && n%1_000 == 0:
+		return fmt.Sprintf("%s-%dk", prefix, n/1_000)
+	default:
+		return fmt.Sprintf("%s-%d", prefix, n)
+	}
+}

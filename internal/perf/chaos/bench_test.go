@@ -1,0 +1,19 @@
+package chaos_test
+
+// Sweep macrobenchmark, shared with the gridlab bench subcommand via the
+// internal/perf/benches registry (an external test package so the
+// registry's chaos import is not a cycle). Run with:
+//
+//	go test ./internal/perf/chaos -bench Sweep -benchmem
+
+import (
+	"testing"
+
+	"repro/internal/perf/benches"
+)
+
+func BenchmarkSweep(b *testing.B) {
+	for _, spec := range benches.Sweep() {
+		b.Run(spec.Name, spec.Fn)
+	}
+}

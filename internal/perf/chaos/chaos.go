@@ -1,0 +1,45 @@
+// Package chaos fans faultlab's (seed × profile) chaos sweep across a
+// worker pool. Every grid cell builds its own private engine, rng, and
+// federation inside faultlab.RunChaos, so cells share nothing; results
+// land in preallocated slots indexed by grid position and are reduced in
+// the same seed-major order the sequential faultlab.Sweep uses. The
+// output is therefore byte-identical to the sequential sweep at any
+// worker count — this is asserted by the determinism tests, which run
+// under -race in CI.
+//
+// It lives in a subpackage because perf itself must stay stdlib-only
+// (core imports perf; faultlab imports core; importing faultlab from
+// perf would cycle).
+package chaos
+
+import (
+	"repro/internal/faultlab"
+	"repro/internal/perf"
+)
+
+// Reports runs the chaos grid — seeds startSeed..startSeed+seeds-1 ×
+// profiles — across workers goroutines and returns every report in
+// seed-major grid order. workers <= 0 means GOMAXPROCS; workers == 1 is
+// the sequential reference.
+func Reports(startSeed int64, seeds int, profiles []faultlab.Profile, cfg faultlab.ChaosConfig, workers int) []*faultlab.Report {
+	if seeds <= 0 || len(profiles) == 0 {
+		return nil
+	}
+	reps := make([]*faultlab.Report, seeds*len(profiles))
+	perf.ForEach(len(reps), workers, func(i int) {
+		seed := startSeed + int64(i/len(profiles))
+		reps[i] = faultlab.RunChaos(seed, profiles[i%len(profiles)], cfg)
+	})
+	return reps
+}
+
+// Sweep is the parallel counterpart of faultlab.Sweep: same grid, same
+// aggregate, reduced through SweepResult.Add in the same fixed order, so
+// the result is identical to the sequential sweep regardless of workers.
+func Sweep(startSeed int64, seeds int, profiles []faultlab.Profile, cfg faultlab.ChaosConfig, workers int) *faultlab.SweepResult {
+	res := &faultlab.SweepResult{}
+	for _, rep := range Reports(startSeed, seeds, profiles, cfg, workers) {
+		res.Add(rep)
+	}
+	return res
+}

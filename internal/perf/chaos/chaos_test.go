@@ -1,0 +1,145 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/faultlab"
+)
+
+// testConfig is a shrunken chaos scenario: full stack, short horizon, so
+// the N-vs-1 worker comparisons stay fast enough for -race CI runs.
+func testConfig() faultlab.ChaosConfig {
+	cfg := faultlab.DefaultChaosConfig()
+	cfg.Sites = 4
+	cfg.Target = 2
+	cfg.Horizon = 90 * time.Minute
+	cfg.Converge = 15 * time.Minute
+	return cfg
+}
+
+// reportKey is the JSON-comparable projection of a report: everything
+// observable from a run except the tracer handle.
+type reportKey struct {
+	Seed         int64
+	Profile      string
+	Trace        []string
+	Violations   []faultlab.Violation
+	Summary      string
+	Availability float64
+	LeaseLapses  int
+	Flags        string
+}
+
+func marshalReports(t *testing.T, reps []*faultlab.Report) []byte {
+	t.Helper()
+	keys := make([]reportKey, len(reps))
+	for i, r := range reps {
+		keys[i] = reportKey{
+			Seed: r.Seed, Profile: r.Profile, Trace: r.Trace,
+			Violations: r.Violations, Summary: r.Summary,
+			Availability: r.Availability, LeaseLapses: r.LeaseLapses,
+			Flags: r.Flags,
+		}
+	}
+	b, err := json.Marshal(keys)
+	if err != nil {
+		t.Fatalf("marshal reports: %v", err)
+	}
+	return b
+}
+
+// TestParallelSweepByteIdentical is the acceptance gate for the parallel
+// executor: the same grid at workers=1 and workers=8 must produce
+// byte-identical per-report JSON and an identical aggregate.
+func TestParallelSweepByteIdentical(t *testing.T) {
+	cfg := testConfig()
+	profiles := faultlab.Profiles()
+
+	seq := Reports(1, 2, profiles, cfg, 1)
+	par := Reports(1, 2, profiles, cfg, 8)
+	if len(seq) != len(par) {
+		t.Fatalf("report count: workers=1 %d, workers=8 %d", len(seq), len(par))
+	}
+	a, b := marshalReports(t, seq), marshalReports(t, par)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("workers=8 reports differ from workers=1:\n--- w1 ---\n%s\n--- w8 ---\n%s", a, b)
+	}
+
+	ra := Sweep(1, 2, profiles, cfg, 1)
+	rb := Sweep(1, 2, profiles, cfg, 8)
+	if ra.Runs != rb.Runs || ra.ViolationN != rb.ViolationN ||
+		ra.AvailabilitySum != rb.AvailabilitySum || ra.LeaseLapses != rb.LeaseLapses {
+		t.Fatalf("aggregates differ: w1=%+v w8=%+v", ra, rb)
+	}
+}
+
+// TestParallelMatchesSequentialFaultlabSweep pins the parallel path to
+// the pre-existing sequential API, not just to itself.
+func TestParallelMatchesSequentialFaultlabSweep(t *testing.T) {
+	cfg := testConfig()
+	profiles := faultlab.Profiles()
+	want := faultlab.Sweep(5, 2, profiles, cfg)
+	got := Sweep(5, 2, profiles, cfg, 0)
+	if got.Runs != want.Runs || got.ViolationN != want.ViolationN ||
+		got.AvailabilitySum != want.AvailabilitySum || got.LeaseLapses != want.LeaseLapses {
+		t.Fatalf("parallel sweep %+v != sequential faultlab.Sweep %+v", got, want)
+	}
+	if (got.First == nil) != (want.First == nil) {
+		t.Fatalf("First mismatch: parallel %v, sequential %v", got.First, want.First)
+	}
+	if got.First != nil && (got.First.Seed != want.First.Seed || got.First.Profile != want.First.Profile) {
+		t.Fatalf("first failure: parallel (%d,%s) != sequential (%d,%s)",
+			got.First.Seed, got.First.Profile, want.First.Seed, want.First.Profile)
+	}
+}
+
+// TestParallelTraceIdentical turns the obs tracing layer on and asserts
+// the JSONL trace of every grid cell is byte-identical across worker
+// counts: parallelism must not perturb even the observability stream.
+func TestParallelTraceIdentical(t *testing.T) {
+	cfg := testConfig()
+	cfg.Trace = true
+	profiles := []faultlab.Profile{faultlab.Profiles()[0], faultlab.Quiet()}
+
+	seq := Reports(3, 2, profiles, cfg, 1)
+	par := Reports(3, 2, profiles, cfg, 8)
+	for i := range seq {
+		var a, b bytes.Buffer
+		if err := seq[i].Tracer.WriteJSONL(&a); err != nil {
+			t.Fatalf("cell %d: sequential trace: %v", i, err)
+		}
+		if err := par[i].Tracer.WriteJSONL(&b); err != nil {
+			t.Fatalf("cell %d: parallel trace: %v", i, err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("cell %d: traces differ (%d vs %d bytes)", i, a.Len(), b.Len())
+		}
+	}
+}
+
+// TestReportsGridOrder asserts slot i holds the (seed-major) grid cell i.
+func TestReportsGridOrder(t *testing.T) {
+	cfg := testConfig()
+	profiles := faultlab.Profiles()[:2]
+	reps := Reports(10, 2, profiles, cfg, 4)
+	for i, rep := range reps {
+		wantSeed := int64(10 + i/len(profiles))
+		wantProfile := profiles[i%len(profiles)].Name
+		if rep.Seed != wantSeed || rep.Profile != wantProfile {
+			t.Fatalf("slot %d: (%d,%s), want (%d,%s)", i, rep.Seed, rep.Profile, wantSeed, wantProfile)
+		}
+	}
+}
+
+func TestEmptyGrid(t *testing.T) {
+	cfg := testConfig()
+	if got := Reports(0, 0, faultlab.Profiles(), cfg, 4); got != nil {
+		t.Fatalf("Reports with 0 seeds = %v, want nil", got)
+	}
+	if res := Sweep(0, 0, faultlab.Profiles(), cfg, 4); res.Runs != 0 {
+		t.Fatalf("Sweep with 0 seeds ran %d cells", res.Runs)
+	}
+}

@@ -1,0 +1,110 @@
+// Package perf is the one audited owner of cross-goroutine fan-out in
+// gridlab. Every other package is single-threaded by design: the sim
+// kernel interleaves events on one goroutine precisely so runs are
+// deterministic, and the gridlint enginerace analyzer enforces that no
+// engine, rng, or report crosses a goroutine boundary elsewhere.
+//
+// perf parallelizes at the only safe granularity: whole runs. A sweep
+// over a (seed × profile) or parameter grid builds one private engine
+// per grid cell, executes cells across a worker pool, and writes each
+// result into a preallocated slot indexed by grid position. Reducing the
+// slots in fixed grid order afterwards makes the output byte-identical
+// to a sequential sweep at any worker count — parallelism changes only
+// wall-clock time, never results.
+//
+// The package is deliberately stdlib-only and imports nothing from the
+// repository, so any layer (core, faultlab, the CLI) can use it without
+// import cycles.
+package perf
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count flag: n itself when positive, else
+// GOMAXPROCS.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n), fanned across min(workers, n)
+// goroutines (workers <= 0 means GOMAXPROCS). Indexes are handed out
+// atomically, so call order across goroutines is unspecified: fn must
+// write only to state owned by index i — the slot-per-cell pattern — and
+// must not touch shared state. workers == 1 degenerates to a plain loop
+// on the calling goroutine, which is the reference behaviour parallel
+// runs are tested against.
+//
+// A panic in any fn is captured and re-raised on the calling goroutine
+// after the pool drains, so a deterministic panic surfaces identically
+// at every worker count.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Value
+	)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if !run(fn, i, &panicked) {
+				break
+			}
+		}
+		if p := panicked.Load(); p != nil {
+			panic(p.(*workerPanic).value)
+		}
+		return
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if !run(fn, i, &panicked) {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(p.(*workerPanic).value)
+	}
+}
+
+// workerPanic wraps a captured panic value so a nil panic payload still
+// records as "a panic happened".
+type workerPanic struct{ value any }
+
+// run executes fn(i), converting a panic into a stored first-panic and a
+// stop signal for the worker that hit it.
+func run(fn func(int), i int, panicked *atomic.Value) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			// CompareAndSwap keeps the first panic; later ones are dropped.
+			panicked.CompareAndSwap(nil, &workerPanic{
+				value: fmt.Sprintf("perf: worker panic on index %d: %v", i, r),
+			})
+			ok = false
+		}
+	}()
+	fn(i)
+	return true
+}

@@ -34,7 +34,7 @@ type renewal struct {
 	term     time.Duration
 	br       *Breaker
 	renew    RenewFunc
-	ev       *sim.Event
+	ev       sim.Event
 	gen      int // invalidates in-flight cycles after Untrack/re-Track
 }
 
@@ -98,10 +98,8 @@ func (r *Renewer) Untrack(id string) {
 		return
 	}
 	it.gen++
-	if it.ev != nil {
-		r.eng.Cancel(it.ev)
-		it.ev = nil
-	}
+	r.eng.Cancel(it.ev)
+	it.ev = sim.Event{}
 	delete(r.items, id)
 }
 
@@ -129,7 +127,7 @@ func (r *Renewer) cycle(it *renewal, gen int) {
 	if it.gen != gen {
 		return
 	}
-	it.ev = nil
+	it.ev = sim.Event{}
 	target := it.notAfter + r.cfg.Extend
 	if r.cfg.Extend <= 0 {
 		target = it.notAfter + it.term

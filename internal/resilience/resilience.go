@@ -215,15 +215,13 @@ func (e *Executor) DoWithPolicy(name string, pol Policy, br *Breaker, op Op, don
 		attempts = n
 		settled := false
 		admitted := false
-		var deadline *sim.Event
+		var deadline sim.Event
 		settle := func(opErr error) {
 			if settled {
 				return
 			}
 			settled = true
-			if deadline != nil {
-				e.eng.Cancel(deadline)
-			}
+			e.eng.Cancel(deadline)
 			if opErr == nil {
 				br.Success()
 				finish(nil)

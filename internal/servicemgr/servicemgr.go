@@ -64,7 +64,7 @@ type Manager struct {
 	downAt   map[string]time.Duration
 	leases   map[string][]*sharp.Lease
 	leaseExp map[string]time.Duration // site -> earliest lease NotAfter
-	watchdog map[string]*sim.Event
+	watchdog map[string]sim.Event
 	retrying map[string]bool // a background deploy retry is in flight
 
 	// RedeployN counts failure-driven redeployments; LeaseLapsedN counts
@@ -109,7 +109,7 @@ func New(eng *sim.Engine, dep *broker.Deployer, sm *identity.Principal, cfg Conf
 		downAt:   make(map[string]time.Duration),
 		leases:   make(map[string][]*sharp.Lease),
 		leaseExp: make(map[string]time.Duration),
-		watchdog: make(map[string]*sim.Event),
+		watchdog: make(map[string]sim.Event),
 		retrying: make(map[string]bool),
 	}
 }

@@ -56,7 +56,7 @@ type FluidConsumer struct {
 	rate       float64
 	resources  []*FluidResource
 	sys        *FluidSystem
-	done       *Event
+	done       Event
 	lastUpdate time.Duration
 	started    time.Duration
 }
@@ -165,10 +165,8 @@ func (s *FluidSystem) detach(c *FluidConsumer) {
 			break
 		}
 	}
-	if c.done != nil {
-		s.eng.Cancel(c.done)
-		c.done = nil
-	}
+	s.eng.Cancel(c.done)
+	c.done = Event{}
 	c.rate = 0
 }
 
@@ -291,10 +289,8 @@ func (s *FluidSystem) reallocate() {
 
 	// Reschedule completions at the new rates.
 	for _, c := range s.order {
-		if c.done != nil {
-			s.eng.Cancel(c.done)
-			c.done = nil
-		}
+		s.eng.Cancel(c.done)
+		c.done = Event{}
 		if c.rate > 0 && !math.IsInf(c.rate, 1) {
 			// Round up to whole nanoseconds so the completion event never
 			// fires before the work is actually done (a truncated ETA

@@ -1,0 +1,22 @@
+package sim_test
+
+// Kernel microbenchmarks, shared with the gridlab bench subcommand via
+// the internal/perf/benches registry (an external test package so the
+// registry's sim import is not a cycle). Run with:
+//
+//	go test ./internal/sim -bench Kernel -benchmem
+//
+// The 1M-event variant extends the registry's default 10k/100k sizes to
+// cover the full churn range.
+
+import (
+	"testing"
+
+	"repro/internal/perf/benches"
+)
+
+func BenchmarkKernel(b *testing.B) {
+	for _, spec := range benches.Kernel(10_000, 100_000, 1_000_000) {
+		b.Run(spec.Name, spec.Fn)
+	}
+}

@@ -9,68 +9,102 @@
 //
 // The kernel is intentionally single-threaded: gridlab simulates wide-area
 // concurrency by interleaving events, not by running goroutines, which is
-// what makes traces reproducible and assertable in tests.
+// what makes traces reproducible and assertable in tests. That same
+// single-threadedness is what makes the hot-path machinery below safe:
+// event nodes live on a per-engine free list and are recycled across
+// schedules, cancellation is lazy (tombstones are skipped at pop time and
+// compacted away when they dominate the heap), and the priority queue is a
+// 4-ary index-addressed heap, which trades a slightly costlier sift-down
+// for half the tree depth and far fewer cache misses than the binary
+// container/heap it replaced.
+//
+// Because nodes are recycled, the Event values handed to callers are
+// generation-stamped handles, not raw pointers: a handle whose node has
+// since fired (or been swept) no longer matches the node's generation, so
+// Cancel on a stale handle is a guaranteed no-op rather than a use-after-
+// reuse bug. The zero Event is inert.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
 )
 
-// Event is a scheduled callback. The zero Event is invalid; events are
-// created through Engine.Schedule and friends.
+// node is the kernel-owned state of one scheduled callback. Nodes live in
+// the engine's nodes slice, addressed by index, and are recycled through
+// the free list; the generation counter is bumped on every recycle so
+// stale Event handles cannot reach them. The ordering keys (at, seq) live
+// in the heap slot, not here, so sift comparisons never touch nodes.
+type node struct {
+	fn   func()
+	dead bool // tombstone: cancelled, awaiting pop or compaction
+	gen  uint64
+}
+
+// slot is one heap entry: the (at, seq) ordering key inline plus the
+// index of the node it orders. Slots are pointer-free, so the queue is
+// never scanned by the collector and sift moves incur no write barriers.
+type slot struct {
+	at  time.Duration
+	seq uint64
+	idx int32
+}
+
+// Event is a generation-stamped handle to a scheduled callback. It is a
+// small value, cheap to copy and store; the zero Event is inert (Cancel
+// and Cancelled on it are no-ops). Handles are single-use: once the event
+// fires or is cancelled and reclaimed, the handle goes stale and all
+// operations on it are no-ops.
 type Event struct {
-	at     time.Duration
-	seq    uint64
-	fn     func()
-	index  int // heap index, -1 when popped or cancelled
-	cancel bool
+	eng *Engine
+	idx int32
+	gen uint64
+	at  time.Duration
 }
 
-// Time returns the virtual time at which the event fires.
-func (e *Event) Time() time.Duration { return e.at }
+// Time returns the virtual time at which the event was scheduled to fire
+// (zero for the zero Event).
+func (e Event) Time() time.Duration { return e.at }
 
-// Cancelled reports whether Cancel was called on the event.
-func (e *Event) Cancelled() bool { return e.cancel }
-
-// eventQueue is a min-heap ordered by (at, seq).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// Cancelled reports whether the event was cancelled and has not yet been
+// reclaimed by the kernel. Once the tombstone is swept (or the node is
+// recycled) the handle is stale and Cancelled reports false.
+func (e Event) Cancelled() bool {
+	if e.eng == nil {
+		return false
 	}
-	return q[i].seq < q[j].seq
+	nd := &e.eng.nodes[e.idx]
+	return nd.gen == e.gen && nd.dead
 }
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+
+// live reports whether the handle still names a pending, uncancelled
+// event.
+func (e Event) live() bool {
+	if e.eng == nil {
+		return false
+	}
+	nd := &e.eng.nodes[e.idx]
+	return nd.gen == e.gen && !nd.dead
 }
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
-}
+
+// compactMin is the queue length below which tombstone compaction is never
+// triggered: small heaps drain tombstones through pops faster than a
+// rebuild pays off.
+const compactMin = 256
 
 // Engine is a discrete-event simulation engine. It is not safe for
 // concurrent use; all simulated activity happens on the calling goroutine.
+// (Fanning whole engines out across goroutines — one private engine per
+// run — is the job of internal/perf, the one audited owner of
+// cross-goroutine execution.)
 type Engine struct {
 	now     time.Duration
 	seq     uint64
-	queue   eventQueue
+	q       []slot  // 4-ary min-heap by (at, seq); may contain tombstones
+	live    int     // pending uncancelled events (Pending is O(1))
+	nodes   []node  // index-stable backing store (appended, never shrunk)
+	free    []int32 // recycled node indexes
 	rng     *rand.Rand
 	stopped bool
 	// processed counts events executed, for test and debug assertions.
@@ -102,10 +136,32 @@ func (e *Engine) ForkRand() *rand.Rand {
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
+// alloc hands out a node index from the free list, growing the backing
+// slice when it runs dry; append's growth policy amortizes allocation.
+func (e *Engine) alloc() int32 {
+	if n := len(e.free); n > 0 {
+		idx := e.free[n-1]
+		e.free = e.free[:n-1]
+		return idx
+	}
+	e.nodes = append(e.nodes, node{})
+	return int32(len(e.nodes) - 1)
+}
+
+// release recycles a node: the generation bump invalidates every
+// outstanding handle, and dropping fn releases the closure.
+func (e *Engine) release(idx int32) {
+	nd := &e.nodes[idx]
+	nd.gen++
+	nd.fn = nil
+	nd.dead = false
+	e.free = append(e.free, idx)
+}
+
 // Schedule runs fn after delay (>= 0) of virtual time. It returns the
 // event so the caller may cancel it. Scheduling in the past panics: it
 // would silently reorder causality.
-func (e *Engine) Schedule(delay time.Duration, fn func()) *Event {
+func (e *Engine) Schedule(delay time.Duration, fn func()) Event {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
 	}
@@ -113,7 +169,7 @@ func (e *Engine) Schedule(delay time.Duration, fn func()) *Event {
 }
 
 // At runs fn at absolute virtual time t (>= Now).
-func (e *Engine) At(t time.Duration, fn func()) *Event {
+func (e *Engine) At(t time.Duration, fn func()) Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
 	}
@@ -121,20 +177,45 @@ func (e *Engine) At(t time.Duration, fn func()) *Event {
 		panic("sim: nil event function")
 	}
 	e.seq++
-	ev := &Event{at: t, seq: e.seq, fn: fn}
-	heap.Push(&e.queue, ev)
-	return ev
+	idx := e.alloc()
+	nd := &e.nodes[idx]
+	nd.fn = fn
+	e.push(slot{at: t, seq: e.seq, idx: idx})
+	e.live++
+	return Event{eng: e, idx: idx, gen: nd.gen, at: t}
 }
 
-// Cancel prevents a pending event from firing. Cancelling an already fired
-// or already cancelled event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.cancel {
+// Cancel prevents a pending event from firing. Cancelling an already
+// fired, already cancelled, or zero event is a no-op. Cancellation is
+// lazy: the node stays queued as a tombstone and is skipped at pop time,
+// with a compaction sweep when tombstones outnumber live events.
+func (e *Engine) Cancel(ev Event) {
+	if ev.eng != e || !ev.live() {
 		return
 	}
-	ev.cancel = true
-	if ev.index >= 0 {
-		heap.Remove(&e.queue, ev.index)
+	nd := &e.nodes[ev.idx]
+	nd.dead = true
+	nd.fn = nil
+	e.live--
+	if len(e.q) >= compactMin && e.live*2 < len(e.q) {
+		e.compact()
+	}
+}
+
+// compact rebuilds the heap from its live events, releasing tombstones.
+// The slot array is pointer-free, so the abandoned tail needs no clearing.
+func (e *Engine) compact() {
+	q := e.q[:0]
+	for _, s := range e.q {
+		if e.nodes[s.idx].dead {
+			e.release(s.idx)
+		} else {
+			q = append(q, s)
+		}
+	}
+	e.q = q
+	for i := (len(q) - 2) / 4; i >= 0; i-- {
+		e.down(i)
 	}
 }
 
@@ -142,20 +223,37 @@ func (e *Engine) Cancel(ev *Event) {
 // completes. Pending events remain queued.
 func (e *Engine) Stop() { e.stopped = true }
 
+// peek prunes tombstones off the top of the heap and returns the next
+// live entry (ok=false when the queue is effectively empty).
+func (e *Engine) peek() (slot, bool) {
+	for len(e.q) > 0 {
+		s := e.q[0]
+		if !e.nodes[s.idx].dead {
+			return s, true
+		}
+		e.release(e.popTop().idx)
+	}
+	return slot{}, false
+}
+
 // Step executes the single next event, advancing the clock to it. It
 // reports false when the queue is empty.
 func (e *Engine) Step() bool {
-	for e.queue.Len() > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.cancel {
-			continue
-		}
-		e.now = ev.at
-		e.processed++
-		ev.fn()
-		return true
+	s, ok := e.peek()
+	if !ok {
+		return false
 	}
-	return false
+	e.popTop()
+	e.now = s.at
+	e.processed++
+	e.live--
+	fn := e.nodes[s.idx].fn
+	// Recycle before firing: outstanding handles are invalidated by the
+	// generation bump, and a reschedule inside fn (the Ticker pattern)
+	// reuses this very node with zero allocation.
+	e.release(s.idx)
+	fn()
+	return true
 }
 
 // Run executes events until the queue drains or Stop is called.
@@ -173,12 +271,8 @@ func (e *Engine) RunUntil(t time.Duration) {
 	}
 	e.stopped = false
 	for !e.stopped {
-		if e.queue.Len() == 0 {
-			break
-		}
-		// Peek.
-		next := e.queue[0]
-		if next.at > t {
+		s, ok := e.peek()
+		if !ok || s.at > t {
 			break
 		}
 		e.Step()
@@ -188,23 +282,96 @@ func (e *Engine) RunUntil(t time.Duration) {
 	}
 }
 
-// Pending returns the number of queued (uncancelled) events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.queue {
-		if !ev.cancel {
-			n++
-		}
+// Pending returns the number of queued (uncancelled) events. It is O(1):
+// the kernel maintains the count incrementally across push, cancel, and
+// pop.
+func (e *Engine) Pending() int { return e.live }
+
+// ---- 4-ary heap over (at, seq), keys inline in the slot array ---------
+
+// push appends s and sifts it up.
+func (e *Engine) push(s slot) {
+	e.q = append(e.q, s)
+	e.up(len(e.q) - 1)
+}
+
+// popTop removes and returns the root (callers check tombstones).
+func (e *Engine) popTop() slot {
+	q := e.q
+	top := q[0]
+	last := len(q) - 1
+	s := q[last]
+	e.q = q[:last]
+	if last > 0 {
+		e.q[0] = s
+		e.down(0)
 	}
-	return n
+	return top
+}
+
+// up sifts the entry at index i toward the root.
+func (e *Engine) up(i int) {
+	q := e.q
+	s := q[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if q[p].at < s.at || (q[p].at == s.at && q[p].seq < s.seq) {
+			break
+		}
+		q[i] = q[p]
+		i = p
+	}
+	q[i] = s
+}
+
+// down sifts the entry at index i toward the leaves using Floyd's
+// bottom-up variant: the hole walks the min-child path all the way down
+// (three comparisons per level instead of four), then the displaced entry
+// sifts back up the same path — almost always a step or less, because in
+// the pop-heavy case it came from the leaf layer. The ordering keys sit
+// inline in q, so the child scan touches one or two cache lines and never
+// dereferences a node.
+func (e *Engine) down(i int) {
+	q := e.q
+	n := len(q)
+	s := q[i]
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		best := c
+		ba, bs := q[c].at, q[c].seq
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if q[j].at < ba || (q[j].at == ba && q[j].seq < bs) {
+				best, ba, bs = j, q[j].at, q[j].seq
+			}
+		}
+		q[i] = q[best]
+		i = best
+	}
+	for i > 0 {
+		p := (i - 1) / 4
+		if q[p].at < s.at || (q[p].at == s.at && q[p].seq < s.seq) {
+			break
+		}
+		q[i] = q[p]
+		i = p
+	}
+	q[i] = s
 }
 
 // Timer is a restartable one-shot timer bound to an engine, analogous to
 // time.Timer but in virtual time.
 type Timer struct {
-	eng *Engine
-	ev  *Event
-	fn  func()
+	eng  *Engine
+	ev   Event
+	fn   func()
+	fire func() // bound once; clears ev so Stop never cancels a stale handle
 }
 
 // NewTimer returns a stopped timer that will invoke fn when it fires.
@@ -212,21 +379,24 @@ func (e *Engine) NewTimer(fn func()) *Timer {
 	if fn == nil {
 		panic("sim: nil timer function")
 	}
-	return &Timer{eng: e, fn: fn}
+	t := &Timer{eng: e, fn: fn}
+	t.fire = func() {
+		t.ev = Event{}
+		t.fn()
+	}
+	return t
 }
 
 // Reset (re)arms the timer to fire after d, cancelling any pending firing.
 func (t *Timer) Reset(d time.Duration) {
 	t.Stop()
-	t.ev = t.eng.Schedule(d, t.fn)
+	t.ev = t.eng.Schedule(d, t.fire)
 }
 
 // Stop cancels a pending firing. It is a no-op on a stopped timer.
 func (t *Timer) Stop() {
-	if t.ev != nil {
-		t.eng.Cancel(t.ev)
-		t.ev = nil
-	}
+	t.eng.Cancel(t.ev)
+	t.ev = Event{}
 }
 
 // Window is a scheduled apply/revoke pair: apply fires at a start time,
@@ -235,8 +405,8 @@ func (t *Timer) Stop() {
 // the scheduled revocation or by an early forced Revoke, never both.
 type Window struct {
 	eng      *Engine
-	applyEv  *Event
-	revokeEv *Event
+	applyEv  Event
+	revokeEv Event
 	revokeFn func()
 	applied  bool
 	revoked  bool
@@ -283,13 +453,16 @@ func (w *Window) Revoke() {
 	w.revokeFn()
 }
 
-// Ticker invokes fn every period until stopped.
+// Ticker invokes fn every period until stopped. One callback closure and
+// (steady-state) one recycled event node serve the ticker's whole life,
+// so ticking is allocation-free.
 type Ticker struct {
 	eng     *Engine
 	period  time.Duration
 	fn      func()
-	ev      *Event
+	ev      Event
 	stopped bool
+	tick    func() // bound once, re-armed every period
 }
 
 // NewTicker starts a ticker with the given period. The first tick fires
@@ -299,27 +472,22 @@ func (e *Engine) NewTicker(period time.Duration, fn func()) *Ticker {
 		panic(fmt.Sprintf("sim: ticker period %v must be positive", period))
 	}
 	t := &Ticker{eng: e, period: period, fn: fn}
-	t.arm()
-	return t
-}
-
-func (t *Ticker) arm() {
-	t.ev = t.eng.Schedule(t.period, func() {
+	t.tick = func() {
 		if t.stopped {
 			return
 		}
 		t.fn()
 		if !t.stopped {
-			t.arm()
+			t.ev = t.eng.Schedule(t.period, t.tick)
 		}
-	})
+	}
+	t.ev = e.Schedule(period, t.tick)
+	return t
 }
 
 // Stop halts the ticker. Safe to call multiple times.
 func (t *Ticker) Stop() {
 	t.stopped = true
-	if t.ev != nil {
-		t.eng.Cancel(t.ev)
-		t.ev = nil
-	}
+	t.eng.Cancel(t.ev)
+	t.ev = Event{}
 }

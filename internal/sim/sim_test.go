@@ -45,16 +45,126 @@ func TestEngineCancel(t *testing.T) {
 	fired := false
 	ev := e.Schedule(time.Second, func() { fired = true })
 	e.Cancel(ev)
+	if !ev.Cancelled() {
+		t.Error("Cancelled() = false after Cancel")
+	}
+	// Double cancel and the zero handle are no-ops.
+	e.Cancel(ev)
+	e.Cancel(Event{})
 	e.Run()
 	if fired {
 		t.Error("cancelled event fired")
 	}
-	if !ev.Cancelled() {
-		t.Error("Cancelled() = false after Cancel")
+}
+
+// A handle kept across its event's firing (or cancellation sweep) goes
+// stale: cancelling it must not touch whatever event has since been
+// scheduled onto the recycled node.
+func TestStaleHandleCancelIsNoOp(t *testing.T) {
+	e := NewEngine(1)
+	stale := e.Schedule(time.Second, func() {})
+	e.Run() // fires; node released to the free list
+	fired := false
+	fresh := e.Schedule(time.Second, func() { fired = true })
+	e.Cancel(stale) // stale generation: must not cancel fresh
+	e.Run()
+	if !fired {
+		t.Fatal("stale Cancel killed a recycled event")
 	}
-	// Double cancel is a no-op.
-	e.Cancel(ev)
-	e.Cancel(nil)
+	if fresh.Cancelled() {
+		t.Error("fresh handle reports cancelled")
+	}
+}
+
+// Pending must match a brute-force count of live queued events under
+// randomized schedule/cancel/run churn (the counter is maintained
+// incrementally; this pins it to ground truth).
+func TestPendingMatchesBruteForce(t *testing.T) {
+	e := NewEngine(1)
+	rng := e.ForkRand()
+	brute := func() int {
+		n := 0
+		for _, s := range e.q {
+			if !e.nodes[s.idx].dead {
+				n++
+			}
+		}
+		return n
+	}
+	var held []Event
+	for i := 0; i < 5000; i++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4: // schedule
+			held = append(held, e.Schedule(time.Duration(rng.Intn(1000))*time.Millisecond, func() {}))
+		case 5, 6, 7: // cancel something (possibly stale, possibly twice)
+			if len(held) > 0 {
+				e.Cancel(held[rng.Intn(len(held))])
+			}
+		case 8: // run a little
+			e.RunUntil(e.Now() + time.Duration(rng.Intn(50))*time.Millisecond)
+		case 9: // step
+			e.Step()
+		}
+		if got, want := e.Pending(), brute(); got != want {
+			t.Fatalf("iteration %d: Pending() = %d, brute force = %d", i, got, want)
+		}
+	}
+	e.Run()
+	if got := e.Pending(); got != 0 {
+		t.Fatalf("Pending() = %d after drain, want 0", got)
+	}
+}
+
+// Mass cancellation must trigger tombstone compaction without perturbing
+// the firing order of the survivors.
+func TestCompactionPreservesOrder(t *testing.T) {
+	e := NewEngine(1)
+	var evs []Event
+	for i := 0; i < 4096; i++ {
+		evs = append(evs, e.Schedule(time.Duration(i)*time.Millisecond, func() {}))
+	}
+	var want []time.Duration
+	for i, ev := range evs {
+		if i%4 != 0 {
+			e.Cancel(ev)
+		} else {
+			want = append(want, ev.Time())
+		}
+	}
+	if len(e.q) >= len(evs) {
+		t.Fatalf("compaction never ran: queue holds %d nodes for %d live events", len(e.q), e.Pending())
+	}
+	var got []time.Duration
+	for e.Step() {
+		got = append(got, e.Now())
+	}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("fire %d at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// Steady-state ticker churn must not allocate: the ticker owns one
+// closure for life and its event node cycles through the free list.
+func TestTickerSteadyStateAllocFree(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	tk := e.NewTicker(time.Second, func() { n++ })
+	defer tk.Stop()
+	e.RunUntil(10 * time.Second) // warm the free list and arena chunk
+	avg := testing.AllocsPerRun(100, func() {
+		e.RunUntil(e.Now() + 100*time.Second)
+	})
+	if avg > 0.5 {
+		t.Errorf("ticker steady state allocates %.1f allocs per 100 ticks, want 0", avg)
+	}
+	if n == 0 {
+		t.Fatal("ticker never ticked")
+	}
 }
 
 func TestEngineNestedScheduling(t *testing.T) {

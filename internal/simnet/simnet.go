@@ -441,7 +441,7 @@ func (n *Network) Call(from, to, service string, req any, timeout time.Duration,
 			obs.String("from", from), obs.String("to", to), obs.String("svc", service))
 	}
 	finished := false
-	var timeoutEv *sim.Event
+	var timeoutEv sim.Event
 	finish := func(resp any, err error) {
 		if finished {
 			return
