@@ -7,7 +7,7 @@
 //
 //	gridlab [-seed N] <table1|fig1|fig2|scale|proxylife|delegation|allocation|hetero|datagrid|oversub|chaos|all>
 //	gridlab chaos [-seed N] [-profile quiet|crashes|partitions|mixed] [-sweep N]
-//	             [-resilience] [-lease D] [-reconcile D]
+//	             [-resilience] [-lease D] [-reconcile D] [-bisect [-bisect-windows K]]
 //	gridlab trace <fig2|delegation|chaos> [-seed N] [-o FILE] [-format jsonl|chrome|timeline]
 package main
 
@@ -28,6 +28,8 @@ var (
 	seed       = flag.Int64("seed", 42, "simulation seed (runs are deterministic per seed)")
 	profile    = flag.String("profile", "mixed", "chaos fault profile (quiet|crashes|partitions|mixed)")
 	sweep      = flag.Int("sweep", 0, "chaos: run N seeds x all profiles instead of one run")
+	bisect     = flag.Bool("bisect", false, "chaos: localize the first failing audit by snapshot bisection")
+	bisectWins = flag.Int("bisect-windows", 8, "chaos: coarse snapshot windows for -bisect")
 	resilience = flag.Bool("resilience", false, "chaos: enable the retry/breaker/keepalive kit")
 	leaseTerm  = flag.Duration("lease", 0, "chaos: service lease term (0 = one lease outliving the run)")
 	reconcile  = flag.Duration("reconcile", 0, "chaos: periodic repair-pass interval (0 = event-driven only)")
@@ -134,6 +136,15 @@ func commands() []command {
 			p, err := faultlab.ProfileByName(*profile)
 			if err != nil {
 				return err
+			}
+			if *bisect {
+				res := faultlab.Bisect(*seed, p, cfg, *bisectWins)
+				fmt.Print(res)
+				if !res.OK() {
+					fmt.Printf("repro: %s\n", res.Report.Repro())
+					return fmt.Errorf("%d invariant violations", len(res.Report.Violations))
+				}
+				return nil
 			}
 			rep := faultlab.RunChaos(*seed, p, cfg)
 			fmt.Print(rep.Schedule)

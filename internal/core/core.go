@@ -171,6 +171,10 @@ type Site struct {
 
 	// PlanetLab-side machinery (nil on a pure Globus build or unjoined).
 	Runtime *broker.SiteRuntime
+	// Sensors is the PlanetLab-side per-node monitoring pusher. It is held
+	// here (not just scheduled) so engine snapshots can reach and rewind
+	// its push state.
+	Sensors *mds.GRIS
 }
 
 // Federation is a built two-stack testbed.
@@ -384,6 +388,7 @@ func Build(stack Stack, cfg Config, specs []SiteSpec) *Federation {
 				})
 			}
 			sensors.StartPush("vo-comon", cfg.RefreshInterval)
+			site.Sensors = sensors
 			pushers = append(pushers, sensors)
 		}
 	}
@@ -395,6 +400,10 @@ func Build(stack Stack, cfg Config, specs []SiteSpec) *Federation {
 			g.Stop()
 		}
 	}
+	// The federation is the mega-root for engine snapshots: every stateful
+	// layer built here (network, MDS, batch managers, authorities,
+	// resilience kit, fault bookkeeping) hangs off it.
+	eng.SnapRoot("core.federation", f)
 	return f
 }
 

@@ -54,6 +54,9 @@ func scaleRows(seed int64, n int) [][]any {
 
 	// Globus build: measure one refresh cycle, then one brokered job.
 	fg := Build(StackGlobus, Config{Seed: seed, RefreshInterval: 2 * time.Minute}, specs)
+	if scaleMidHook != nil {
+		scaleMidHook(fg)
+	}
 	reg0 := fg.Index.RegisterN
 	fg.Eng.RunUntil(fg.Eng.Now() + 2*time.Minute)
 	regPerCycle := fg.Index.RegisterN - reg0
@@ -78,6 +81,9 @@ func scaleRows(seed int64, n int) [][]any {
 	// PlanetLab build: measure the sensor plane over one refresh
 	// cycle, then deploy a 5-point-of-presence slice.
 	fp := Build(StackPlanetLab, Config{Seed: seed, RefreshInterval: 2 * time.Minute}, specs)
+	if scaleMidHook != nil {
+		scaleMidHook(fp)
+	}
 	regP0 := fp.Comon.RegisterN
 	fp.Eng.RunUntil(fp.Eng.Now() + 2*time.Minute)
 	regPPerCycle := fp.Comon.RegisterN - regP0
@@ -111,6 +117,11 @@ func scaleRows(seed int64, n int) [][]any {
 	est := time.Duration(float64(rttSum) / float64(len(sites)) / 2 * float64(hops))
 	return append(rows, []any{n, "planetlab", regPPerCycle, staleP.Round(time.Second).String(), est.Round(time.Millisecond).String(), hops})
 }
+
+// scaleMidHook, when set, runs on each freshly built federation inside
+// scaleRows (E3) — the snapshot-purity gate uses it to take mid-scenario
+// engine snapshots. Always nil outside tests.
+var scaleMidHook func(f *Federation)
 
 // ---- E4: proxy-certificate lifetime -----------------------------------
 

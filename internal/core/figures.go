@@ -226,6 +226,10 @@ func figure2(seed int64, trace bool) (*Figure2Result, *obs.Tracer, error) {
 		}
 	}
 
+	if fig2MidHook != nil {
+		fig2MidHook(f)
+	}
+
 	// Steps 3/4: the service manager buys site-A resources from the agent.
 	record("3", sm.Name, agent.Name, "request ticket")
 	bought, err := agent.Sell(sm.Name, sm.Public(), "siteA", capability.CPU, 1, now, horizon)
@@ -266,6 +270,12 @@ func figure2(seed int64, trace bool) (*Figure2Result, *obs.Tracer, error) {
 	f.Tracer.SampleGauges()
 	return res, f.Tracer, nil
 }
+
+// fig2MidHook, when set, runs between the ticket-acquisition and purchase
+// phases of figure2 — the snapshot-purity gate uses it to take a
+// mid-scenario engine snapshot and prove the capture is behaviourally
+// free. Always nil outside tests.
+var fig2MidHook func(f *Federation)
 
 // Figure2ExpectedSteps is the paper's arrow order.
 var Figure2ExpectedSteps = []string{"1a", "2a", "1b", "2b", "3", "4", "5", "6", "7"}

@@ -1,0 +1,81 @@
+package faultlab
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBisectLocalizesPlantedBreach plants a violation at a known virtual
+// time via the arm hook and checks the coarse+fine passes converge on it.
+// The planted event rides the snapshot like any scheduled work: it must
+// fire again in every probe fork, which is exactly the mid-run re-fork
+// machinery gridlab chaos -bisect relies on.
+func TestBisectLocalizesPlantedBreach(t *testing.T) {
+	const breakAt = 53*time.Minute + 17*time.Second
+	armHook = func(c *chaosRun) {
+		c.f.Eng.Schedule(breakAt-c.f.Eng.Now(), func() {
+			c.record([]Violation{{Invariant: "planted", Detail: "test breach"}})
+		})
+	}
+	defer func() { armHook = nil }()
+
+	cfg := forkTestConfig()
+	p, _ := ProfileByName("mixed")
+	res := Bisect(7, p, cfg, 8)
+	if res.OK() || res.FinalOnly {
+		t.Fatalf("planted breach not seen: ok=%v finalOnly=%v", res.OK(), res.FinalOnly)
+	}
+	if res.Lo > breakAt || res.Hi < breakAt {
+		t.Fatalf("coarse window [%v,%v] misses planted time %v", res.Lo, res.Hi, breakAt)
+	}
+	if d := res.FailAt - breakAt; d < 0 || d > BisectResolution {
+		t.Fatalf("FailAt=%v, want within %v after %v", res.FailAt, BisectResolution, breakAt)
+	}
+	if len(res.First) != 1 || res.First[0].Invariant != "planted" {
+		t.Fatalf("First=%v, want the planted violation", res.First)
+	}
+	if res.Probes == 0 {
+		t.Fatalf("fine pass ran no probes")
+	}
+	if !strings.Contains(res.String(), "first violation recorded at") {
+		t.Fatalf("String() = %q", res.String())
+	}
+}
+
+// TestBisectCleanRun: nothing to bisect on a healthy run.
+func TestBisectCleanRun(t *testing.T) {
+	cfg := forkTestConfig()
+	p, _ := ProfileByName("crashes")
+	res := Bisect(1, p, cfg, 4)
+	if !res.OK() || res.Probes != 0 || res.FailAt != 0 {
+		t.Fatalf("clean run bisected: ok=%v probes=%d failAt=%v violations=%v",
+			res.OK(), res.Probes, res.FailAt, res.Report.Violations)
+	}
+	if !strings.Contains(res.String(), "clean") {
+		t.Fatalf("String() = %q", res.String())
+	}
+}
+
+// TestBisectFinalOnly: a run that fails only the post-heal converged audit
+// (short lease, no keepalive — the service dies and nothing restarts it)
+// has no mid-run breach to search for.
+func TestBisectFinalOnly(t *testing.T) {
+	cfg := ChaosConfig{
+		Sites: 4, Target: 2, CPUPerSite: 0.5,
+		Horizon: 90 * time.Minute, Converge: 15 * time.Minute,
+		Refresh: 2 * time.Minute, JobEvery: 5 * time.Minute,
+		AuditEvery: 5 * time.Minute, Lease: 10 * time.Minute,
+	}
+	p, _ := ProfileByName("crashes")
+	res := Bisect(1, p, cfg, 4)
+	if res.OK() {
+		t.Fatalf("expected a failing run (got clean)")
+	}
+	if !res.FinalOnly || res.FailAt != 0 || res.Probes != 0 {
+		t.Fatalf("expected FinalOnly: %+v", res)
+	}
+	if !strings.Contains(res.String(), "final converged audit") {
+		t.Fatalf("String() = %q", res.String())
+	}
+}

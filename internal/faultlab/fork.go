@@ -1,0 +1,45 @@
+package faultlab
+
+// Warm-fork sweep support: the chaos scenario's build phase — federation
+// construction, certificate issuance, service placement, job-stream setup
+// — is profile-independent, so a sweep that runs every profile for a seed
+// can pay for it once. ForkedSeedReports builds the scenario once,
+// snapshots the engine at the arm point, and re-forks that snapshot for
+// each profile. The correctness contract (a forked run is byte-identical
+// to a cold run of the same (seed, profile)) is enforced by the
+// differential tests in fork_test.go over a seed grid under -race.
+
+// ForkedSeedRun runs every profile for one seed off a single warm build,
+// in profile order, calling visit with each report as it completes.
+//
+// visit runs BEFORE the next profile's fork: Report.Tracer is the live
+// engine tracer, shared across the seed's forks, and the next fork rewinds
+// it to the snapshot point — so trace output (WriteJSONL and friends) must
+// be drained inside visit. Everything else on the Report (summary,
+// schedule, violations, counters) is plain data owned by its own timeline
+// and stays valid indefinitely.
+func ForkedSeedRun(seed int64, profiles []Profile, cfg ChaosConfig, visit func(*Report)) {
+	if len(profiles) == 0 {
+		return
+	}
+	c := newChaosRun(seed, cfg)
+	snap := c.f.Eng.Snapshot()
+	for _, p := range profiles {
+		snap.Fork()
+		c.arm(Generate(seed, p, cfg.SiteNames(), cfg.Horizon))
+		visit(c.finish())
+	}
+}
+
+// ForkedSeedReports is ForkedSeedRun collecting the reports. The returned
+// reports are byte-identical to calling RunChaos(seed, p, cfg) per
+// profile, except Report.Tracer, which all point at the seed's shared
+// tracer as rewound by the LAST fork (use ForkedSeedRun to drain traces
+// per profile).
+func ForkedSeedReports(seed int64, profiles []Profile, cfg ChaosConfig) []*Report {
+	reports := make([]*Report, 0, len(profiles))
+	ForkedSeedRun(seed, profiles, cfg, func(rep *Report) {
+		reports = append(reports, rep)
+	})
+	return reports
+}

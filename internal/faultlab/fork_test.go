@@ -1,0 +1,159 @@
+package faultlab
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/sim/snaptest"
+)
+
+// forkTestConfig is the differential grid's scenario: small enough to run
+// dozens of times, but with tracing, resilience, short leases, and the
+// reconcile loop all on so every stateful layer participates in the
+// snapshot.
+func forkTestConfig() ChaosConfig {
+	return ChaosConfig{
+		Sites:          4,
+		Target:         2,
+		CPUPerSite:     0.5,
+		Horizon:        90 * time.Minute,
+		Converge:       15 * time.Minute,
+		Refresh:        2 * time.Minute,
+		JobEvery:       5 * time.Minute,
+		AuditEvery:     5 * time.Minute,
+		Trace:          true,
+		Lease:          30 * time.Minute,
+		ReconcileEvery: 10 * time.Minute,
+		Resilience:     true,
+	}
+}
+
+// serializeReport renders everything a chaos run observably produced —
+// summary table, schedule, injector trace, violations, scalar outcomes,
+// resilience counters, and the full JSONL trace stream — so the
+// differential harness compares forked and cold runs byte for byte.
+func serializeReport(t *testing.T, rep *Report) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "== seed=%d profile=%s ==\n", rep.Seed, rep.Profile)
+	if rep.Schedule != nil {
+		b.WriteString(rep.Schedule.String())
+	}
+	for _, ln := range rep.Trace {
+		fmt.Fprintf(&b, "inj %s\n", ln)
+	}
+	for _, v := range rep.Violations {
+		fmt.Fprintf(&b, "violation %s\n", v)
+	}
+	b.WriteString(rep.Summary)
+	fmt.Fprintf(&b, "availability=%.6f lapses=%d\n", rep.Availability, rep.LeaseLapses)
+	if rep.Resilience != nil {
+		fmt.Fprintf(&b, "resilience=%+v\n", *rep.Resilience)
+	}
+	if rep.Tracer != nil {
+		if err := rep.Tracer.WriteJSONL(&b); err != nil {
+			t.Fatalf("WriteJSONL: %v", err)
+		}
+	}
+	return b.Bytes()
+}
+
+// TestForkVsColdChaos is the tentpole gate: for every seed in the grid,
+// running all profiles off one warm fork must be byte-identical — report,
+// summary, violations, and JSONL trace stream — to cold-building each
+// (seed, profile) run from scratch. Run under -race in CI.
+func TestForkVsColdChaos(t *testing.T) {
+	cfg := forkTestConfig()
+	profiles := Profiles()
+	cold := func(seed int64) []byte {
+		var b bytes.Buffer
+		for _, p := range profiles {
+			b.Write(serializeReport(t, RunChaos(seed, p, cfg)))
+		}
+		return b.Bytes()
+	}
+	forked := func(seed int64) []byte {
+		var b bytes.Buffer
+		// Serialize inside the visit callback: the shared tracer is only
+		// valid for a given timeline until the next fork rewinds it.
+		ForkedSeedRun(seed, profiles, cfg, func(rep *Report) {
+			b.Write(serializeReport(t, rep))
+		})
+		return b.Bytes()
+	}
+	n := 20
+	if testing.Short() {
+		n = 4
+	}
+	snaptest.Diff(t, "chaos", snaptest.Seeds(1, n), cold, forked)
+}
+
+// TestForkRewindsJobRngExactly pins the sweep rng-drift regression: the
+// job-stream rng (and every other rng in the stack) must rewind to its
+// exact captured position on each fork, so running the SAME profile twice
+// off one snapshot yields byte-identical reports — and both match cold.
+func TestForkRewindsJobRngExactly(t *testing.T) {
+	cfg := forkTestConfig()
+	p, _ := ProfileByName("mixed")
+	for _, seed := range snaptest.Seeds(1, 8) {
+		var runs [][]byte
+		ForkedSeedRun(seed, []Profile{p, p}, cfg, func(rep *Report) {
+			runs = append(runs, serializeReport(t, rep))
+		})
+		first, second := runs[0], runs[1]
+		if !bytes.Equal(first, second) {
+			t.Fatalf("seed %d: second fork of the same profile diverged (rng drift):\n%s",
+				seed, snaptest.Describe(first, second))
+		}
+		coldRep := serializeReport(t, RunChaos(seed, p, cfg))
+		if !bytes.Equal(coldRep, first) {
+			t.Fatalf("seed %d: forked run diverged from cold:\n%s",
+				seed, snaptest.Describe(coldRep, first))
+		}
+	}
+}
+
+// TestChaosSnapshotPurity is the scenario-level purity gate: taking
+// snapshots — at the arm point and again mid-run — without ever forking
+// them must leave the run byte-identical to one that never snapshotted.
+func TestChaosSnapshotPurity(t *testing.T) {
+	cfg := forkTestConfig()
+	p, _ := ProfileByName("crashes")
+	for _, seed := range snaptest.Seeds(1, 5) {
+		plain := serializeReport(t, RunChaos(seed, p, cfg))
+
+		c := newChaosRun(seed, cfg)
+		_ = c.f.Eng.Snapshot()
+		c.arm(Generate(seed, p, cfg.SiteNames(), cfg.Horizon))
+		c.f.Eng.RunUntil(cfg.Horizon / 2)
+		_ = c.f.Eng.Snapshot()
+		snapped := serializeReport(t, c.finish())
+
+		if !bytes.Equal(plain, snapped) {
+			t.Fatalf("seed %d: snapshotting perturbed the run:\n%s",
+				seed, snaptest.Describe(plain, snapped))
+		}
+	}
+}
+
+// TestForkedSweepMatchesColdSweep pins the Sweep rewiring: the warm-fork
+// sweep must render the same aggregate as running every cell cold.
+func TestForkedSweepMatchesColdSweep(t *testing.T) {
+	cfg := forkTestConfig()
+	profiles := Profiles()
+	coldRes := &SweepResult{}
+	for s := int64(1); s <= 3; s++ {
+		for _, p := range profiles {
+			coldRes.Add(RunChaos(s, p, cfg))
+		}
+	}
+	warmRes := Sweep(1, 3, profiles, cfg)
+	if coldRes.String() != warmRes.String() {
+		t.Fatalf("forked sweep diverged from cold sweep:\ncold:\n%s\nwarm:\n%s", coldRes, warmRes)
+	}
+	if coldRes.AvailabilitySum != warmRes.AvailabilitySum || coldRes.LeaseLapses != warmRes.LeaseLapses {
+		t.Fatalf("forked sweep aggregates diverged: cold=%+v warm=%+v", coldRes, warmRes)
+	}
+}

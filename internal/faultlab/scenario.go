@@ -158,6 +158,45 @@ func RunBaseline(seed int64, cfg ChaosConfig) *Report {
 }
 
 func run(seed int64, sched *Schedule, cfg ChaosConfig) *Report {
+	c := newChaosRun(seed, cfg)
+	c.arm(sched)
+	return c.finish()
+}
+
+// chaosRun is one scenario instance with every piece of mutable run state
+// held in fields rather than closure captures. The struct is registered as
+// an engine snapshot root, so a snapshot taken before arm (the warm sweep
+// fork point) or mid-run (bisection) rewinds the whole scenario — job
+// counters, audit dedup state, injector bookkeeping — along with the
+// federation underneath it.
+type chaosRun struct {
+	cfg   ChaosConfig
+	seed  int64
+	names []string
+	end   time.Duration
+
+	f      *core.Federation
+	mgr    *servicemgr.Manager
+	proxy  *identity.Credential
+	jobRng *rand.Rand
+
+	gkSites                      []*core.Site
+	submitted, accepted, refused int
+	next                         int
+
+	ttlBound   time.Duration
+	seen       map[string]struct{}
+	violations []Violation
+
+	jobTicker, reconcileTicker, auditTicker *sim.Ticker
+	inj                                     *Injector
+}
+
+// newChaosRun builds the federation and starts the steady-state machinery
+// (service manager, job stream, reconcile loop) but installs no faults and
+// arms no audits: this is the profile-independent prefix a warm sweep
+// snapshots once per seed and re-forks per profile.
+func newChaosRun(seed int64, cfg ChaosConfig) *chaosRun {
 	names := cfg.SiteNames()
 	specs := make([]core.SiteSpec, cfg.Sites)
 	for i, name := range names {
@@ -172,7 +211,15 @@ func run(seed int64, sched *Schedule, cfg ChaosConfig) *Report {
 		Seed: seed, RefreshInterval: cfg.Refresh, Trace: cfg.Trace,
 		Resilience: cfg.Resilience,
 	}, specs)
-	end := cfg.Horizon + cfg.Converge
+	c := &chaosRun{
+		cfg:   cfg,
+		seed:  seed,
+		names: names,
+		end:   cfg.Horizon + cfg.Converge,
+		f:     f,
+		seen:  make(map[string]struct{}),
+	}
+	f.Eng.SnapRoot("faultlab.chaos", c)
 
 	// Ticket stock for the service manager, valid past the audit.
 	for _, s := range f.JoinedSites() {
@@ -180,15 +227,15 @@ func run(seed int64, sched *Schedule, cfg ChaosConfig) *Report {
 			s.Runtime.Authority.OversellFactor = 1e6
 		}
 	}
-	if err := f.Deployer.Stock(200, 0, end+time.Hour, names...); err != nil {
+	if err := f.Deployer.Stock(200, 0, c.end+time.Hour, names...); err != nil {
 		panic(fmt.Sprintf("faultlab: stocking deployer: %v", err))
 	}
 	lease := cfg.Lease
 	if lease == 0 {
-		lease = end + time.Hour // legacy: one lease outlives the run
+		lease = c.end + time.Hour // legacy: one lease outlives the run
 	}
 	sm := identity.NewPrincipal("chaos-sm", f.Rng)
-	mgr := servicemgr.New(f.Eng, f.Deployer, sm, servicemgr.Config{
+	c.mgr = servicemgr.New(f.Eng, f.Deployer, sm, servicemgr.Config{
 		Name:       "chaos-svc",
 		Target:     cfg.Target,
 		CPUPerSite: cfg.CPUPerSite,
@@ -196,66 +243,40 @@ func run(seed int64, sched *Schedule, cfg ChaosConfig) *Report {
 		Lease:      lease,
 	})
 	if f.Tracer != nil {
-		mgr.SetTracer(f.Tracer)
+		c.mgr.SetTracer(f.Tracer)
 	}
 	if f.Resilience != nil {
-		mgr.SetResilience(f.Resilience)
+		c.mgr.SetResilience(f.Resilience)
 	}
-	if err := mgr.Start(); err != nil {
+	if err := c.mgr.Start(); err != nil {
 		panic(fmt.Sprintf("faultlab: starting service: %v", err))
 	}
 	// Declared outages drive the management plane; silent crashes must be
 	// survived through soft state alone.
 	f.AddFaultObserver(func(site string, down bool) {
 		if down {
-			mgr.SiteFailed(site)
+			c.mgr.SiteFailed(site)
 		} else {
-			mgr.SiteRecovered(site)
-			mgr.Reconcile()
+			c.mgr.SiteRecovered(site)
+			c.mgr.Reconcile()
 		}
 	})
 
 	// Background GRAM load: a probe job every JobEvery, round-robin over
 	// the member gatekeepers, submitted from the VO broker host.
 	user := f.User("chaos-user")
-	proxy, err := user.Delegate("chaos-user/p", f.Eng.Now(), end+time.Hour, nil, f.Rng)
+	proxy, err := user.Delegate("chaos-user/p", f.Eng.Now(), c.end+time.Hour, nil, f.Rng)
 	if err != nil {
 		panic(fmt.Sprintf("faultlab: delegating proxy: %v", err))
 	}
-	jobRng := rand.New(rand.NewSource(seed + 1))
-	gkSites := f.JoinedSites()
-	var submitted, accepted, refused int
-	next := 0
-	jobTicker := f.Eng.NewTicker(cfg.JobEvery, func() {
-		s := gkSites[next%len(gkSites)]
-		next++
-		submitted++
-		req := gram.SubmitRequest{
-			Cred: proxy,
-			Spec: gram.JobSpec{
-				RSL:       "&(executable=probe)(count=1)(maxWallTime=1800)",
-				ActualRun: time.Duration(1+jobRng.Intn(8)) * time.Minute,
-			},
-		}
-		done := func(_ gram.SubmitReply, err error) {
-			if err != nil {
-				refused++
-				return
-			}
-			accepted++
-		}
-		if f.Resilience != nil {
-			gram.SubmitWithRetry(f.Resilience.Retry, f.Resilience.Breakers.For(s.Spec.Name),
-				f.Net, "vo-broker", s.Host, req, 30*time.Second, done)
-		} else {
-			gram.Submit(f.Net, "vo-broker", s.Host, req, 30*time.Second, done)
-		}
-	})
+	c.proxy = proxy
+	c.jobRng = rand.New(rand.NewSource(seed + 1))
+	c.gkSites = f.JoinedSites()
+	c.jobTicker = f.Eng.NewTicker(cfg.JobEvery, c.submitJob)
 
-	var reconcileTicker *sim.Ticker
 	if cfg.ReconcileEvery > 0 {
-		reconcileTicker = f.Eng.NewTicker(cfg.ReconcileEvery, func() {
-			mgr.Reconcile()
+		c.reconcileTicker = f.Eng.NewTicker(cfg.ReconcileEvery, func() {
+			c.mgr.Reconcile()
 			if f.Resilience != nil {
 				// Half-open trials for written-off sites the service no
 				// longer visits on its own.
@@ -265,57 +286,103 @@ func run(seed int64, sched *Schedule, cfg ChaosConfig) *Report {
 			}
 		})
 	}
+	return c
+}
 
-	var inj *Injector
-	if sched != nil {
-		inj = Install(f, sched)
+// submitJob is one tick of the background GRAM load.
+func (c *chaosRun) submitJob() {
+	s := c.gkSites[c.next%len(c.gkSites)]
+	c.next++
+	c.submitted++
+	req := gram.SubmitRequest{
+		Cred: c.proxy,
+		Spec: gram.JobSpec{
+			RSL:       "&(executable=probe)(count=1)(maxWallTime=1800)",
+			ActualRun: time.Duration(1+c.jobRng.Intn(8)) * time.Minute,
+		},
 	}
+	done := func(_ gram.SubmitReply, err error) {
+		if err != nil {
+			c.refused++
+			return
+		}
+		c.accepted++
+	}
+	if c.f.Resilience != nil {
+		gram.SubmitWithRetry(c.f.Resilience.Retry, c.f.Resilience.Breakers.For(s.Spec.Name),
+			c.f.Net, "vo-broker", s.Host, req, 30*time.Second, done)
+	} else {
+		gram.Submit(c.f.Net, "vo-broker", s.Host, req, 30*time.Second, done)
+	}
+}
 
+// record folds invariant breaches into the run's deduped violation log.
+func (c *chaosRun) record(vs []Violation) {
+	for _, v := range vs {
+		key := v.String()
+		if _, dup := c.seen[key]; dup {
+			continue
+		}
+		c.seen[key] = struct{}{}
+		c.violations = append(c.violations, v)
+	}
+}
+
+// arm installs the fault schedule (nil for a baseline run) and starts the
+// mid-run invariant audits. Event creation order — job ticker, reconcile
+// ticker, injector windows, audit ticker — matches the historical inline
+// scenario exactly, so reports are byte-identical to pre-refactor runs.
+func (c *chaosRun) arm(sched *Schedule) {
+	if sched != nil {
+		c.inj = Install(c.f, sched)
+	}
 	// Mid-run audits: structural invariants only (service strength is a
 	// convergence property, judged after heal + settle).
-	ttlBound := 2*cfg.Refresh + time.Second
-	seen := make(map[string]struct{})
-	var violations []Violation
-	record := func(vs []Violation) {
-		for _, v := range vs {
-			key := v.String()
-			if _, dup := seen[key]; dup {
-				continue
-			}
-			seen[key] = struct{}{}
-			violations = append(violations, v)
-		}
-	}
-	auditTicker := f.Eng.NewTicker(cfg.AuditEvery, func() {
-		record(CheckFederation(f, CheckOpts{
-			TTLBound:      ttlBound,
-			LeaseManagers: []*servicemgr.Manager{mgr},
+	c.ttlBound = 2*c.cfg.Refresh + time.Second
+	c.auditTicker = c.f.Eng.NewTicker(c.cfg.AuditEvery, func() {
+		c.record(CheckFederation(c.f, CheckOpts{
+			TTLBound:      c.ttlBound,
+			LeaseManagers: []*servicemgr.Manager{c.mgr},
 		}))
 	})
-
-	f.Eng.RunUntil(cfg.Horizon)
-	if inj != nil {
-		inj.HealAll()
+	if armHook != nil {
+		armHook(c)
 	}
-	mgr.Reconcile()
-	f.Eng.RunUntil(end)
-	jobTicker.Stop()
-	auditTicker.Stop()
-	if reconcileTicker != nil {
-		reconcileTicker.Stop()
+}
+
+// armHook is a test seam: the bisect tests use it to plant a scheduled
+// invariant breach at a known virtual time (the healthy scenario holds its
+// invariants by design, so there is nothing real to bisect to). Always nil
+// outside tests.
+var armHook func(*chaosRun)
+
+// finish drives the scenario to its end, heals, audits, and assembles the
+// report.
+func (c *chaosRun) finish() *Report {
+	f := c.f
+	f.Eng.RunUntil(c.cfg.Horizon)
+	if c.inj != nil {
+		c.inj.HealAll()
+	}
+	c.mgr.Reconcile()
+	f.Eng.RunUntil(c.end)
+	c.jobTicker.Stop()
+	c.auditTicker.Stop()
+	if c.reconcileTicker != nil {
+		c.reconcileTicker.Stop()
 	}
 
 	feasible := 0
-	for _, name := range names {
-		if !f.SiteDown(name) && f.Deployer.Inventory(name) >= cfg.CPUPerSite {
+	for _, name := range c.names {
+		if !f.SiteDown(name) && f.Deployer.Inventory(name) >= c.cfg.CPUPerSite {
 			feasible++
 		}
 	}
-	record(CheckFederation(f, CheckOpts{
-		Managers:      []*servicemgr.Manager{mgr},
-		LeaseManagers: []*servicemgr.Manager{mgr},
+	c.record(CheckFederation(f, CheckOpts{
+		Managers:      []*servicemgr.Manager{c.mgr},
+		LeaseManagers: []*servicemgr.Manager{c.mgr},
 		FeasibleSites: feasible,
-		TTLBound:      ttlBound,
+		TTLBound:      c.ttlBound,
 	}))
 
 	var done, failed int
@@ -335,9 +402,11 @@ func run(seed int64, sched *Schedule, cfg ChaosConfig) *Report {
 
 	applied, revoked := 0, 0
 	var trace []string
-	if inj != nil {
-		applied, revoked = inj.AppliedN, inj.RevokedN
-		trace = inj.Trace()
+	var sched *Schedule
+	if c.inj != nil {
+		applied, revoked = c.inj.AppliedN, c.inj.RevokedN
+		trace = c.inj.Trace()
+		sched = c.inj.sched
 	}
 	// Resilience counters: plain zeros when the kit is off, so the summary
 	// table keeps the same rows (and stays byte-comparable) either way.
@@ -349,20 +418,20 @@ func run(seed int64, sched *Schedule, cfg ChaosConfig) *Report {
 		recloses = f.Resilience.Breakers.Recloses()
 		retries = f.Resilience.Retry.RetriesN
 	}
-	availability := 1 - float64(mgr.DegradedSoFar())/float64(end)
+	availability := 1 - float64(c.mgr.DegradedSoFar())/float64(c.end)
 	tbl := metrics.NewTable("metric", "value")
 	tbl.AddRow("sites joined", len(f.JoinedSites()))
-	tbl.AddRow("jobs submitted", submitted)
-	tbl.AddRow("jobs accepted", accepted)
-	tbl.AddRow("jobs refused", refused)
+	tbl.AddRow("jobs submitted", c.submitted)
+	tbl.AddRow("jobs accepted", c.accepted)
+	tbl.AddRow("jobs refused", c.refused)
 	tbl.AddRow("jobs done", done)
 	tbl.AddRow("jobs failed", failed)
-	tbl.AddRow("service running", mgr.Running())
-	tbl.AddRow("service target", mgr.Target())
-	tbl.AddRow("service redeploys", mgr.RedeployN)
-	tbl.AddRow("service degraded", mgr.DegradedSoFar().String())
+	tbl.AddRow("service running", c.mgr.Running())
+	tbl.AddRow("service target", c.mgr.Target())
+	tbl.AddRow("service redeploys", c.mgr.RedeployN)
+	tbl.AddRow("service degraded", c.mgr.DegradedSoFar().String())
 	tbl.AddRow("service availability", fmt.Sprintf("%.4f", availability))
-	tbl.AddRow("lease lapses", mgr.LeaseLapsedN)
+	tbl.AddRow("lease lapses", c.mgr.LeaseLapsedN)
 	tbl.AddRow("lease renewals", renewals)
 	tbl.AddRow("renew giveups", giveups)
 	tbl.AddRow("breaker trips", trips)
@@ -370,19 +439,22 @@ func run(seed int64, sched *Schedule, cfg ChaosConfig) *Report {
 	tbl.AddRow("op retries", retries)
 	tbl.AddRow("faults applied", applied)
 	tbl.AddRow("faults revoked", revoked)
-	tbl.AddRow("violations", len(violations))
+	tbl.AddRow("violations", len(c.violations))
 
 	f.Tracer.SampleGauges()
 	rep := &Report{
-		Seed:         seed,
-		Schedule:     sched,
-		Trace:        trace,
-		Violations:   violations,
+		Seed:     c.seed,
+		Schedule: sched,
+		Trace:    trace,
+		// Copied, not aliased: a later Fork rewinds c.violations to a
+		// shorter prefix of the same backing array, and the next
+		// timeline's appends would otherwise scribble over this report.
+		Violations:   append([]Violation(nil), c.violations...),
 		Summary:      tbl.String(),
 		Tracer:       f.Tracer,
 		Availability: availability,
-		LeaseLapses:  mgr.LeaseLapsedN,
-		Flags:        reproFlags(cfg),
+		LeaseLapses:  c.mgr.LeaseLapsedN,
+		Flags:        reproFlags(c.cfg),
 	}
 	if f.Resilience != nil {
 		rep.Resilience = &ResilienceStats{
@@ -446,12 +518,15 @@ func (r *SweepResult) String() string {
 
 // Sweep runs the chaos scenario over seeds startSeed..startSeed+seeds-1
 // for every profile, reporting the first violating (seed, profile) as a
-// minimal repro. Runs are independent, so sweep order is just seed-major.
+// minimal repro. Each seed's profile-independent build runs once and is
+// re-forked per profile (see ForkedSeedReports); the reduce order stays
+// seed-major, and forked runs are byte-identical to cold ones, so the
+// result matches the historical run-every-cell-cold sweep exactly.
 func Sweep(startSeed int64, seeds int, profiles []Profile, cfg ChaosConfig) *SweepResult {
 	res := &SweepResult{}
 	for s := int64(0); s < int64(seeds); s++ {
-		for _, p := range profiles {
-			res.Add(RunChaos(startSeed+s, p, cfg))
+		for _, rep := range ForkedSeedReports(startSeed+s, profiles, cfg) {
+			res.Add(rep)
 		}
 	}
 	return res

@@ -1,11 +1,14 @@
 // Package chaos fans faultlab's (seed × profile) chaos sweep across a
-// worker pool. Every grid cell builds its own private engine, rng, and
-// federation inside faultlab.RunChaos, so cells share nothing; results
-// land in preallocated slots indexed by grid position and are reduced in
-// the same seed-major order the sequential faultlab.Sweep uses. The
-// output is therefore byte-identical to the sequential sweep at any
-// worker count — this is asserted by the determinism tests, which run
-// under -race in CI.
+// worker pool. The unit of parallelism is one SEED: each worker builds
+// the seed's profile-independent scenario once, snapshots the engine, and
+// re-forks it per profile (faultlab.ForkedSeedReports), so the build cost
+// is paid seeds times instead of seeds×profiles times. Seeds share
+// nothing — every seed owns a private engine, rng, and federation — and
+// results land in preallocated per-seed slots reduced in the same
+// seed-major order the sequential faultlab.Sweep uses. Forked runs are
+// byte-identical to cold ones (the snaptest gates enforce this), so the
+// output is identical to the sequential sweep at any worker count — the
+// determinism tests assert this under -race in CI.
 //
 // It lives in a subpackage because perf itself must stay stdlib-only
 // (core imports perf; faultlab imports core; importing faultlab from
@@ -20,17 +23,37 @@ import (
 // Reports runs the chaos grid — seeds startSeed..startSeed+seeds-1 ×
 // profiles — across workers goroutines and returns every report in
 // seed-major grid order. workers <= 0 means GOMAXPROCS; workers == 1 is
-// the sequential reference.
+// the sequential reference. Report.Tracer is shared per seed and left
+// rewound by the seed's last fork; use the summary/violation fields, not
+// the tracer, from sweep results.
 func Reports(startSeed int64, seeds int, profiles []faultlab.Profile, cfg faultlab.ChaosConfig, workers int) []*faultlab.Report {
 	if seeds <= 0 || len(profiles) == 0 {
 		return nil
 	}
 	reps := make([]*faultlab.Report, seeds*len(profiles))
-	perf.ForEach(len(reps), workers, func(i int) {
-		seed := startSeed + int64(i/len(profiles))
-		reps[i] = faultlab.RunChaos(seed, profiles[i%len(profiles)], cfg)
+	ForEachReport(startSeed, seeds, profiles, cfg, workers, func(i int, rep *faultlab.Report) {
+		reps[i] = rep
 	})
 	return reps
+}
+
+// ForEachReport runs the same grid as Reports but hands each report to
+// visit as soon as its run completes — BEFORE the seed's next fork rewinds
+// the shared tracer — which is the only way to harvest per-cell trace
+// output from a parallel sweep. i is the seed-major grid index. visit runs
+// on worker goroutines (concurrently across seeds, sequentially within
+// one), so it must only touch per-cell state or synchronize.
+func ForEachReport(startSeed int64, seeds int, profiles []faultlab.Profile, cfg faultlab.ChaosConfig, workers int, visit func(i int, rep *faultlab.Report)) {
+	if seeds <= 0 || len(profiles) == 0 {
+		return
+	}
+	perf.ForEach(seeds, workers, func(i int) {
+		j := 0
+		faultlab.ForkedSeedRun(startSeed+int64(i), profiles, cfg, func(rep *faultlab.Report) {
+			visit(i*len(profiles)+j, rep)
+			j++
+		})
+	})
 }
 
 // Sweep is the parallel counterpart of faultlab.Sweep: same grid, same

@@ -98,24 +98,29 @@ func TestParallelMatchesSequentialFaultlabSweep(t *testing.T) {
 
 // TestParallelTraceIdentical turns the obs tracing layer on and asserts
 // the JSONL trace of every grid cell is byte-identical across worker
-// counts: parallelism must not perturb even the observability stream.
+// counts: parallelism must not perturb even the observability stream. The
+// traces are drained inside the visit callback — a seed's forks share one
+// tracer, and each fork rewinds it.
 func TestParallelTraceIdentical(t *testing.T) {
 	cfg := testConfig()
 	cfg.Trace = true
 	profiles := []faultlab.Profile{faultlab.Profiles()[0], faultlab.Quiet()}
 
-	seq := Reports(3, 2, profiles, cfg, 1)
-	par := Reports(3, 2, profiles, cfg, 8)
+	drain := func(workers int) [][]byte {
+		out := make([][]byte, 2*len(profiles))
+		ForEachReport(3, 2, profiles, cfg, workers, func(i int, rep *faultlab.Report) {
+			var b bytes.Buffer
+			if err := rep.Tracer.WriteJSONL(&b); err != nil {
+				t.Errorf("cell %d (w%d): trace: %v", i, workers, err)
+			}
+			out[i] = b.Bytes()
+		})
+		return out
+	}
+	seq, par := drain(1), drain(8)
 	for i := range seq {
-		var a, b bytes.Buffer
-		if err := seq[i].Tracer.WriteJSONL(&a); err != nil {
-			t.Fatalf("cell %d: sequential trace: %v", i, err)
-		}
-		if err := par[i].Tracer.WriteJSONL(&b); err != nil {
-			t.Fatalf("cell %d: parallel trace: %v", i, err)
-		}
-		if !bytes.Equal(a.Bytes(), b.Bytes()) {
-			t.Fatalf("cell %d: traces differ (%d vs %d bytes)", i, a.Len(), b.Len())
+		if !bytes.Equal(seq[i], par[i]) {
+			t.Fatalf("cell %d: traces differ (%d vs %d bytes)", i, len(seq[i]), len(par[i]))
 		}
 	}
 }

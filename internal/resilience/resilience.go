@@ -149,6 +149,12 @@ type Executor struct {
 	// chaos summaries do not depend on whether tracing is on.
 	AttemptsN, RetriesN, OKN, FailN int
 
+	// inflight tracks active retry loops. The per-loop state machine
+	// (attempt number, settled flag, deadline handle) lives on doCall
+	// structs reachable from here so that engine snapshots taken mid-loop
+	// restore it exactly (see sim/snap.go).
+	inflight map[*doCall]struct{}
+
 	tr                              *obs.Tracer
 	cAttempts, cRetries, cOK, cFail *obs.Counter
 	cFastFail                       *obs.Counter
@@ -168,6 +174,7 @@ func NewExecutor(eng *sim.Engine, rng *rand.Rand, pol Policy, tr *obs.Tracer) *E
 		eng:       eng,
 		rng:       rng,
 		pol:       pol.withDefaults(),
+		inflight:  make(map[*doCall]struct{}),
 		tr:        tr,
 		cAttempts: tr.Counter("resilience.attempts"),
 		cRetries:  tr.Counter("resilience.retries"),
@@ -192,86 +199,118 @@ func (e *Executor) Do(name string, br *Breaker, op Op, done func(error)) {
 // done is called exactly once with nil on success or a terminal error
 // wrapping the last attempt's failure.
 func (e *Executor) DoWithPolicy(name string, pol Policy, br *Breaker, op Op, done func(error)) {
-	pol = pol.withDefaults()
-	var span obs.SpanContext
+	c := &doCall{
+		e:     e,
+		pol:   pol.withDefaults(),
+		br:    br,
+		op:    op,
+		done:  done,
+		start: e.eng.Now(),
+	}
 	if e.tr != nil {
-		span = e.tr.Begin("resilience.do", obs.String("op", name))
+		c.span = e.tr.Begin("resilience.do", obs.String("op", name))
 	}
-	start := e.eng.Now()
-	attempts := 0
-	finish := func(err error) {
-		if err == nil {
-			e.OKN++
-			e.cOK.Inc()
-		} else {
-			e.FailN++
-			e.cFail.Inc()
-		}
-		span.End(obs.Int("attempts", attempts), obs.Err(err))
-		done(err)
-	}
-	var attempt func(n int)
-	attempt = func(n int) {
-		attempts = n
-		settled := false
-		admitted := false
-		var deadline sim.Event
-		settle := func(opErr error) {
-			if settled {
-				return
-			}
-			settled = true
-			e.eng.Cancel(deadline)
-			if opErr == nil {
-				br.Success()
-				finish(nil)
-				return
-			}
-			if !errors.Is(opErr, ErrBreakerOpen) {
-				br.Failure()
-			} else if admitted {
-				// The op was admitted here but refused by a downstream
-				// gate over the same breaker: release the probe slot this
-				// admission may hold, or the breaker jams half-open.
-				br.Abort()
-			}
-			span.Event("resilience.attempt_failed",
-				obs.Int("attempt", n), obs.Err(opErr))
-			if pol.Retryable != nil && !pol.Retryable(opErr) {
-				finish(opErr)
-				return
-			}
-			if pol.MaxAttempts > 0 && n >= pol.MaxAttempts {
-				finish(fmt.Errorf("%w (%d): %w", ErrRetriesExhausted, n, opErr))
-				return
-			}
-			delay := pol.backoff(n, e.rng)
-			if pol.Budget > 0 && e.eng.Now()+delay-start > pol.Budget {
-				finish(fmt.Errorf("%w (%v): %w", ErrBudgetExhausted, pol.Budget, opErr))
-				return
-			}
-			e.RetriesN++
-			e.cRetries.Inc()
-			e.schedule(delay, span, func() { attempt(n + 1) })
-		}
-		if !br.Allow() {
-			e.cFastFail.Inc()
-			settle(fmt.Errorf("%w: %s", ErrBreakerOpen, br.Name()))
-			return
-		}
-		admitted = true
-		e.AttemptsN++
-		e.cAttempts.Inc()
-		if pol.AttemptTimeout > 0 {
-			deadline = e.eng.Schedule(pol.AttemptTimeout, func() {
-				settle(ErrAttemptTimeout)
-			})
-		}
-		op(n, settle)
-	}
-	restore := e.tr.EnterScope(span)
+	e.inflight[c] = struct{}{}
+	restore := e.tr.EnterScope(c.span)
 	defer restore()
-	attempt(1)
+	c.attempt(1)
+}
+
+// doCall is one retry loop in flight: all mutable loop state lives here,
+// not in closure captures, so mid-loop snapshots restore exactly.
+type doCall struct {
+	e     *Executor
+	pol   Policy
+	br    *Breaker
+	op    Op
+	done  func(error)
+	span  obs.SpanContext
+	start time.Duration
+
+	attempts int
+	// settled and admitted describe the CURRENT attempt (c.attempts);
+	// settle calls carry the attempt number they belong to, so a late
+	// completion from an abandoned attempt cannot touch a newer one.
+	settled  bool
+	admitted bool
+	deadline sim.Event
+}
+
+func (c *doCall) finish(err error) {
+	delete(c.e.inflight, c)
+	if err == nil {
+		c.e.OKN++
+		c.e.cOK.Inc()
+	} else {
+		c.e.FailN++
+		c.e.cFail.Inc()
+	}
+	c.span.End(obs.Int("attempts", c.attempts), obs.Err(err))
+	c.done(err)
+}
+
+func (c *doCall) attempt(n int) {
+	c.attempts = n
+	c.settled = false
+	c.admitted = false
+	c.deadline = sim.Event{}
+	settle := func(opErr error) { c.settle(n, opErr) }
+	if !c.br.Allow() {
+		c.e.cFastFail.Inc()
+		settle(fmt.Errorf("%w: %s", ErrBreakerOpen, c.br.Name()))
+		return
+	}
+	c.admitted = true
+	c.e.AttemptsN++
+	c.e.cAttempts.Inc()
+	if c.pol.AttemptTimeout > 0 {
+		c.deadline = c.e.eng.Schedule(c.pol.AttemptTimeout, func() {
+			c.settle(n, ErrAttemptTimeout)
+		})
+	}
+	c.op(n, settle)
+}
+
+// settle records the outcome of attempt n; settles from superseded
+// attempts (or a second settle of the current one) are ignored.
+func (c *doCall) settle(n int, opErr error) {
+	if c.settled || c.attempts != n {
+		return
+	}
+	c.settled = true
+	e := c.e
+	e.eng.Cancel(c.deadline)
+	if opErr == nil {
+		c.br.Success()
+		c.finish(nil)
+		return
+	}
+	if !errors.Is(opErr, ErrBreakerOpen) {
+		c.br.Failure()
+	} else if c.admitted {
+		// The op was admitted here but refused by a downstream
+		// gate over the same breaker: release the probe slot this
+		// admission may hold, or the breaker jams half-open.
+		c.br.Abort()
+	}
+	c.span.Event("resilience.attempt_failed",
+		obs.Int("attempt", n), obs.Err(opErr))
+	if c.pol.Retryable != nil && !c.pol.Retryable(opErr) {
+		c.finish(opErr)
+		return
+	}
+	if c.pol.MaxAttempts > 0 && n >= c.pol.MaxAttempts {
+		c.finish(fmt.Errorf("%w (%d): %w", ErrRetriesExhausted, n, opErr))
+		return
+	}
+	delay := c.pol.backoff(n, e.rng)
+	if c.pol.Budget > 0 && e.eng.Now()+delay-c.start > c.pol.Budget {
+		c.finish(fmt.Errorf("%w (%v): %w", ErrBudgetExhausted, c.pol.Budget, opErr))
+		return
+	}
+	e.RetriesN++
+	e.cRetries.Inc()
+	e.schedule(delay, c.span, func() { c.attempt(n + 1) })
 }
 
 // schedule runs fn after delay, attributed to span when tracing is on.

@@ -71,7 +71,9 @@ func (e Event) Time() time.Duration { return e.at }
 // reclaimed by the kernel. Once the tombstone is swept (or the node is
 // recycled) the handle is stale and Cancelled reports false.
 func (e Event) Cancelled() bool {
-	if e.eng == nil {
+	// The bounds check is not paranoia: a Fork can rewind the engine to a
+	// point where this handle's node had not been allocated yet.
+	if e.eng == nil || int(e.idx) >= len(e.eng.nodes) {
 		return false
 	}
 	nd := &e.eng.nodes[e.idx]
@@ -81,7 +83,7 @@ func (e Event) Cancelled() bool {
 // live reports whether the handle still names a pending, uncancelled
 // event.
 func (e Event) live() bool {
-	if e.eng == nil {
+	if e.eng == nil || int(e.idx) >= len(e.eng.nodes) {
 		return false
 	}
 	nd := &e.eng.nodes[e.idx]
@@ -109,6 +111,20 @@ type Engine struct {
 	stopped bool
 	// processed counts events executed, for test and debug assertions.
 	processed uint64
+
+	// genCounter is the source of every node generation ever minted. It is
+	// engine-global and monotonic, and — critically — it is the one piece
+	// of kernel state a Fork never rewinds: generations are unique across
+	// all timelines, so an Event handle minted in an abandoned timeline can
+	// never match a node in a later one (see snap.go).
+	genCounter uint64
+
+	// Snapshot registries (see snap.go). snapRoots anchors layer state for
+	// the deep-capture walker; snapHooks holds save/restore callbacks for
+	// state the walker cannot reach. Both live on the Engine struct so a
+	// restore truncates them to their snapshot-time lengths automatically.
+	snapRoots []snapRoot
+	snapHooks []snapHook
 }
 
 // NewEngine returns an engine at virtual time zero whose random stream is
@@ -136,23 +152,35 @@ func (e *Engine) ForkRand() *rand.Rand {
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
+// nextGen mints a fresh, never-before-used node generation. Generations
+// come from the engine-global counter rather than per-node bumps so that
+// no generation is ever reused — not even across Fork rewinds, which
+// restore node state but deliberately leave the counter alone.
+func (e *Engine) nextGen() uint64 {
+	e.genCounter++
+	return e.genCounter
+}
+
 // alloc hands out a node index from the free list, growing the backing
 // slice when it runs dry; append's growth policy amortizes allocation.
+// Fresh nodes draw a generation immediately: a zero generation would
+// collide with handles minted against index reuse after a Fork truncates
+// and regrows the nodes slice.
 func (e *Engine) alloc() int32 {
 	if n := len(e.free); n > 0 {
 		idx := e.free[n-1]
 		e.free = e.free[:n-1]
 		return idx
 	}
-	e.nodes = append(e.nodes, node{})
+	e.nodes = append(e.nodes, node{gen: e.nextGen()})
 	return int32(len(e.nodes) - 1)
 }
 
-// release recycles a node: the generation bump invalidates every
+// release recycles a node: the fresh generation invalidates every
 // outstanding handle, and dropping fn releases the closure.
 func (e *Engine) release(idx int32) {
 	nd := &e.nodes[idx]
-	nd.gen++
+	nd.gen = e.nextGen()
 	nd.fn = nil
 	nd.dead = false
 	e.free = append(e.free, idx)

@@ -1,0 +1,84 @@
+// Package snaptest is the differential test harness for Engine
+// snapshot/fork: it replays a scenario cold (fresh engine, straight run)
+// and forked (warm up, snapshot, fork, run) across a seed grid and fails
+// on the first byte of divergence in the scenario's serialized output —
+// traces, chaos reports, figure text, whatever the caller renders.
+//
+// Byte-identity is deliberately the gate, not structural equality: the
+// repository's golden tests already pin outputs byte-for-byte, so any
+// weaker comparison here would let fork drift hide behind formatting.
+//
+// The package knows nothing about upper layers (it depends only on the
+// standard library), so faultlab, core, and perf tests can all use it
+// without import cycles.
+package snaptest
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// Seeds returns the standard differential seed grid: n consecutive seeds
+// from start. The CI gate runs at least 20.
+func Seeds(start int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = start + int64(i)
+	}
+	return out
+}
+
+// Diff runs cold and forked for every seed and fails the test on the
+// first divergence, reporting the seed and a context window around the
+// first differing byte.
+func Diff(t testing.TB, name string, seeds []int64, cold, forked func(seed int64) []byte) {
+	t.Helper()
+	for _, seed := range seeds {
+		c := cold(seed)
+		f := forked(seed)
+		if !bytes.Equal(c, f) {
+			t.Fatalf("%s: fork-vs-cold divergence at seed %d:\n%s", name, seed, Describe(c, f))
+		}
+	}
+}
+
+// Describe renders a human-useful description of where two outputs first
+// diverge: byte offset, and the surrounding line from each side.
+func Describe(cold, forked []byte) string {
+	n := len(cold)
+	if len(forked) < n {
+		n = len(forked)
+	}
+	i := 0
+	for i < n && cold[i] == forked[i] {
+		i++
+	}
+	if i == n && len(cold) == len(forked) {
+		return "outputs are identical"
+	}
+	return fmt.Sprintf("first divergence at byte %d (cold %dB, forked %dB)\n  cold:   %q\n  forked: %q",
+		i, len(cold), len(forked), lineAround(cold, i), lineAround(forked, i))
+}
+
+// lineAround extracts the line containing offset i (clamped, bounded).
+func lineAround(b []byte, i int) []byte {
+	if len(b) == 0 {
+		return b
+	}
+	if i >= len(b) {
+		i = len(b) - 1
+	}
+	lo := bytes.LastIndexByte(b[:i], '\n') + 1
+	hi := bytes.IndexByte(b[i:], '\n')
+	if hi < 0 {
+		hi = len(b)
+	} else {
+		hi += i
+	}
+	const maxLine = 300
+	if hi-lo > maxLine {
+		hi = lo + maxLine
+	}
+	return b[lo:hi]
+}

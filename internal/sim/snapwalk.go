@@ -1,0 +1,293 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"unsafe"
+)
+
+// snapwalk is the deep-state capture machinery behind Engine.Snapshot: a
+// reflection walker that, starting from the engine and its registered
+// snapshot roots, records a restorable copy of every piece of mutable
+// state it can reach — struct contents, map entries, slice backing
+// arrays, and everything reachable through pointers and interfaces,
+// including *rand.Rand internals.
+//
+// The capture is an in-place rewind, not a graph clone: restore writes
+// the recorded bytes back into the same objects. Pointer fields are
+// restored bitwise, which is correct precisely because the pointed-to
+// objects still exist in this process (the snapshot's own references keep
+// them alive), so a rewound heap of event closures keeps referring to a
+// rewound — and therefore consistent — object graph.
+//
+// What the walker deliberately does NOT traverse:
+//
+//   - func values: a closure's captured variables are invisible to
+//     reflection. Mutable state may therefore never live only in closure
+//     captures of long-lived callbacks; it must be hoisted into a struct
+//     the walker can reach (see DESIGN.md §12 for the layer contract).
+//     Immutable captures (loop variables, config, pointers to reachable
+//     structs) are fine: the func value itself is restored bitwise.
+//   - channels and unsafe.Pointer: the simulation layers use neither.
+//   - strings: immutable by construction.
+type walker struct {
+	seen map[seenKey]struct{}
+
+	mems   []memAct
+	maps   []mapAct
+	slices []sliceAct
+}
+
+// seenKey dedupes visited objects. n disambiguates slice views: two
+// slices over one backing array with different lengths are different
+// restore regions (their saved windows overlap consistently, since both
+// were captured at the same instant).
+type seenKey struct {
+	p unsafe.Pointer
+	t reflect.Type
+	n int
+}
+
+// memAct restores one addressable region (a pointer target) bitwise.
+type memAct struct {
+	dst   reflect.Value // addressable, non-RO
+	saved reflect.Value // private copy taken at capture time
+}
+
+// mapAct restores one map to its captured key set and values: every
+// current key is deleted, then the saved pairs are reinserted.
+type mapAct struct {
+	m  reflect.Value
+	kv []reflect.Value // flattened key/value pairs
+}
+
+// sliceAct restores the [0:len] window of one slice's backing array.
+type sliceAct struct {
+	dst   reflect.Value // the captured slice header (non-RO)
+	saved reflect.Value // private element copy
+}
+
+func newWalker() *walker {
+	return &walker{seen: make(map[seenKey]struct{})}
+}
+
+// launder strips reflect's read-only flag from an addressable value, so
+// unexported fields can be copied out and restored into. This is the
+// standard reflect.NewAt trick; it never violates the memory model — the
+// kernel is single-threaded and restore happens between events.
+func launder(v reflect.Value) reflect.Value {
+	if v.CanSet() {
+		return v
+	}
+	return reflect.NewAt(v.Type(), unsafe.Pointer(v.UnsafeAddr())).Elem()
+}
+
+// capture records the object at ptr (an addressable target of type t)
+// and scans it for further references. It is the entry point for pointer
+// targets, including the Engine itself.
+func (w *walker) capture(ptr unsafe.Pointer, t reflect.Type) {
+	key := seenKey{p: ptr, t: t, n: -1}
+	if _, dup := w.seen[key]; dup {
+		return
+	}
+	w.seen[key] = struct{}{}
+	obj := reflect.NewAt(t, ptr).Elem()
+	saved := reflect.New(t).Elem()
+	saved.Set(obj)
+	w.mems = append(w.mems, memAct{dst: obj, saved: saved})
+	w.scan(obj)
+}
+
+// scan walks v looking for reference types to follow. v's own bytes are
+// assumed already saved by the caller (as part of an enclosing object,
+// slice window, or map entry), so scan never records v itself.
+func (w *walker) scan(v reflect.Value) {
+	switch v.Kind() {
+	case reflect.Ptr:
+		if v.IsNil() {
+			return
+		}
+		w.capture(unsafe.Pointer(v.Pointer()), v.Type().Elem())
+
+	case reflect.Interface:
+		if v.IsNil() {
+			return
+		}
+		dyn := v.Elem()
+		if dyn.Kind() == reflect.Ptr || dyn.Kind() == reflect.Map ||
+			dyn.Kind() == reflect.Slice || dyn.Kind() == reflect.Interface {
+			w.scan(dyn)
+			return
+		}
+		// A non-pointer value boxed in an interface is immutable (nothing
+		// can take its address), but it may still carry references.
+		w.scanInside(dyn)
+
+	case reflect.Map:
+		w.captureMap(v)
+
+	case reflect.Slice:
+		w.captureSlice(v)
+
+	case reflect.Struct, reflect.Array:
+		w.scanInside(v)
+	}
+}
+
+// scanInside recurses into the fields/elements of a struct or array (or
+// the reference kinds of any other value) without saving its bytes.
+func (w *walker) scanInside(v reflect.Value) {
+	switch v.Kind() {
+	case reflect.Struct:
+		t := v.Type()
+		for i := 0; i < v.NumField(); i++ {
+			if !hasRefs(t.Field(i).Type) {
+				continue
+			}
+			fv := v.Field(i)
+			if fv.CanAddr() {
+				fv = launder(fv)
+			}
+			w.scan(fv)
+		}
+	case reflect.Array:
+		if !hasRefs(v.Type().Elem()) {
+			return
+		}
+		for i := 0; i < v.Len(); i++ {
+			w.scan(v.Index(i))
+		}
+	default:
+		w.scan(v)
+	}
+}
+
+// captureMap records a map's current entries for clear-and-reinsert
+// restore, then scans keys and values.
+func (w *walker) captureMap(m reflect.Value) {
+	if m.IsNil() {
+		return
+	}
+	key := seenKey{p: unsafe.Pointer(m.Pointer()), t: m.Type(), n: -1}
+	if _, dup := w.seen[key]; dup {
+		return
+	}
+	w.seen[key] = struct{}{}
+	if !m.CanSet() && !canWriteMap(m) {
+		panic(fmt.Sprintf("sim: snapshot cannot restore read-only map of type %v "+
+			"(reached through an opaque interface value; hoist it into a struct field)", m.Type()))
+	}
+	kt, vt := m.Type().Key(), m.Type().Elem()
+	kv := make([]reflect.Value, 0, 2*m.Len())
+	it := m.MapRange()
+	for it.Next() {
+		k := reflect.New(kt).Elem()
+		k.Set(it.Key())
+		val := reflect.New(vt).Elem()
+		val.Set(it.Value())
+		kv = append(kv, k, val)
+	}
+	w.maps = append(w.maps, mapAct{m: m, kv: kv})
+	for i := 0; i < len(kv); i += 2 {
+		if hasRefs(kt) {
+			w.scan(kv[i])
+		}
+		if hasRefs(vt) {
+			w.scan(kv[i+1])
+		}
+	}
+}
+
+// canWriteMap reports whether SetMapIndex will work on m: reflect forbids
+// writes through values flagged read-only. Laundered struct fields are
+// writable; only maps dug out of opaque boxed values are not.
+func canWriteMap(m reflect.Value) (ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	// SetMapIndex with a zero key probe would mutate; instead test the RO
+	// flag indirectly: Interface() panics exactly when the value is RO.
+	_ = m.Interface()
+	return true
+}
+
+// captureSlice records the [0:len] window of a slice for content restore,
+// then scans the elements.
+func (w *walker) captureSlice(s reflect.Value) {
+	if s.IsNil() || s.Len() == 0 {
+		return
+	}
+	key := seenKey{p: unsafe.Pointer(s.Pointer()), t: s.Type(), n: s.Len()}
+	if _, dup := w.seen[key]; dup {
+		return
+	}
+	w.seen[key] = struct{}{}
+	saved := reflect.MakeSlice(s.Type(), s.Len(), s.Len())
+	reflect.Copy(saved, s)
+	w.slices = append(w.slices, sliceAct{dst: s, saved: saved})
+	if !hasRefs(s.Type().Elem()) {
+		return
+	}
+	for i := 0; i < s.Len(); i++ {
+		// Slice elements are addressable through the header regardless of
+		// how the header itself was reached.
+		w.scan(launder(s.Index(i)))
+	}
+}
+
+// restore writes every recorded region back. Order does not matter: all
+// actions were captured at one instant and write disjoint (or identically
+// saved, for aliased slice windows) regions.
+func (w *walker) restore() {
+	for i := range w.mems {
+		w.mems[i].dst.Set(w.mems[i].saved)
+	}
+	for i := range w.slices {
+		reflect.Copy(w.slices[i].dst, w.slices[i].saved)
+	}
+	zero := reflect.Value{}
+	for i := range w.maps {
+		m := w.maps[i].m
+		// Delete keys added (or kept) since the snapshot...
+		live := make([]reflect.Value, 0, m.Len())
+		it := m.MapRange()
+		for it.Next() {
+			k := reflect.New(m.Type().Key()).Elem()
+			k.Set(it.Key())
+			live = append(live, k)
+		}
+		for _, k := range live {
+			m.SetMapIndex(k, zero)
+		}
+		// ...then reinsert the captured entries.
+		kv := w.maps[i].kv
+		for j := 0; j < len(kv); j += 2 {
+			m.SetMapIndex(kv[j], kv[j+1])
+		}
+	}
+}
+
+// hasRefs reports whether values of type t can contain anything the
+// walker must follow or separately restore (pointers, maps, slices,
+// interfaces). Pure-scalar types (and strings/funcs/chans, which are
+// leaves) are fully handled by the enclosing bitwise copy, so the walker
+// can skip them — this prunes most of a big struct's fields.
+func hasRefs(t reflect.Type) bool {
+	switch t.Kind() {
+	case reflect.Ptr, reflect.Map, reflect.Slice, reflect.Interface:
+		return true
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			if hasRefs(t.Field(i).Type) {
+				return true
+			}
+		}
+		return false
+	case reflect.Array:
+		return hasRefs(t.Elem())
+	default:
+		return false
+	}
+}

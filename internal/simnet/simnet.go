@@ -90,6 +90,12 @@ type Network struct {
 	active      map[*Flow]struct{}
 	flowSeq     uint64
 
+	// calls tracks in-flight RPCs. The per-call state (settled flag,
+	// pending timeout handle) must live on a struct reachable from the
+	// Network — not in closure captures — so engine snapshots taken while
+	// calls are in flight restore them exactly (see sim/snap.go).
+	calls map[*call]struct{}
+
 	// BaseLoss is the default packet-loss probability on any inter-site
 	// path (intra-site paths are lossless).
 	BaseLoss float64
@@ -123,6 +129,7 @@ func New(eng *sim.Engine) *Network {
 		lossRate:    make(map[[2]string]float64),
 		partitioned: make(map[[2]string]bool),
 		active:      make(map[*Flow]struct{}),
+		calls:       make(map[*call]struct{}),
 		MTU:         1460,
 	}
 }
@@ -434,41 +441,22 @@ func (n *Network) Call(from, to, service string, req any, timeout time.Duration,
 		n.eng.Schedule(0, func() { done(nil, err) })
 		return
 	}
-	var span obs.SpanContext
-	start := n.eng.Now()
+	c := &call{n: n, a: a, start: n.eng.Now(), done: done}
 	if n.tr != nil {
-		span = n.tr.Begin("net.call",
+		c.span = n.tr.Begin("net.call",
 			obs.String("from", from), obs.String("to", to), obs.String("svc", service))
 	}
-	finished := false
-	var timeoutEv sim.Event
-	finish := func(resp any, err error) {
-		if finished {
-			return
-		}
-		finished = true
-		// Cancel the pending timeout so completed calls do not leave dead
-		// events in the heap (Cancel on the fired timeout is a no-op).
-		n.eng.Cancel(timeoutEv)
-		if n.tr != nil {
-			switch {
-			case errors.Is(err, ErrTimeout):
-				n.cCallTimeout.Inc()
-			case errors.Is(err, ErrNoHandler):
-				n.cCallRefused.Inc()
-			}
-			n.hCallRTT.Observe(n.eng.Now() - start)
-			span.End(obs.Err(err))
-		}
-		done(resp, err)
-	}
+	n.calls[c] = struct{}{}
 	if timeout > 0 {
-		timeoutEv = n.eng.Schedule(timeout, func() { finish(nil, ErrTimeout) })
+		c.timeoutEv = n.eng.Schedule(timeout, func() { c.finish(nil, ErrTimeout) })
 	}
 	a.MsgsSent++
 	n.cSent.Inc()
 	if n.rng.Float64() < n.Loss(a.Site, b.Site) {
 		n.cDropLoss.Inc()
+		if timeout <= 0 {
+			c.drop() // nothing can ever settle it
+		}
 		return // request lost; timeout will fire
 	}
 	n.eng.Schedule(lat, func() {
@@ -495,7 +483,7 @@ func (n *Network) Call(from, to, service string, req any, timeout time.Duration,
 				}
 				a.MsgsRecv++
 				n.cRecv.Inc()
-				finish(nil, ErrNoHandler)
+				c.finish(nil, ErrNoHandler)
 			})
 			return
 		}
@@ -504,7 +492,7 @@ func (n *Network) Call(from, to, service string, req any, timeout time.Duration,
 		var resp any
 		var herr error
 		if n.tr != nil {
-			n.tr.Scope(span, func() { resp, herr = fn(from, req) })
+			n.tr.Scope(c.span, func() { resp, herr = fn(from, req) })
 		} else {
 			resp, herr = fn(from, req)
 		}
@@ -512,6 +500,9 @@ func (n *Network) Call(from, to, service string, req any, timeout time.Duration,
 		n.cSent.Inc()
 		if n.rng.Float64() < n.Loss(a.Site, b.Site) {
 			n.cDropLoss.Inc()
+			if timeout <= 0 {
+				c.drop() // response lost with no timeout: never settles
+			}
 			return // response lost
 		}
 		n.eng.Schedule(lat, func() {
@@ -521,7 +512,50 @@ func (n *Network) Call(from, to, service string, req any, timeout time.Duration,
 			}
 			a.MsgsRecv++
 			n.cRecv.Inc()
-			finish(resp, herr)
+			c.finish(resp, herr)
 		})
 	})
+}
+
+// call is one in-flight RPC. Keeping its mutable state in fields (rather
+// than closure-captured locals) makes in-flight calls part of the
+// snapshot-restorable object graph.
+type call struct {
+	n         *Network
+	a         *Host // caller, for delivery checks
+	span      obs.SpanContext
+	start     time.Duration
+	done      func(resp any, err error)
+	finished  bool
+	timeoutEv sim.Event
+}
+
+// finish settles the call exactly once.
+func (c *call) finish(resp any, err error) {
+	if c.finished {
+		return
+	}
+	c.finished = true
+	delete(c.n.calls, c)
+	// Cancel the pending timeout so completed calls do not leave dead
+	// events in the heap (Cancel on the fired timeout is a no-op).
+	c.n.eng.Cancel(c.timeoutEv)
+	if c.n.tr != nil {
+		switch {
+		case errors.Is(err, ErrTimeout):
+			c.n.cCallTimeout.Inc()
+		case errors.Is(err, ErrNoHandler):
+			c.n.cCallRefused.Inc()
+		}
+		c.n.hCallRTT.Observe(c.n.eng.Now() - c.start)
+		c.span.End(obs.Err(err))
+	}
+	c.done(resp, err)
+}
+
+// drop abandons a call that can never settle (lost with no timeout armed)
+// so it does not accumulate in the in-flight set.
+func (c *call) drop() {
+	c.finished = true
+	delete(c.n.calls, c)
 }
