@@ -1,10 +1,15 @@
 // Command gridlint enforces gridlab's determinism & correctness
 // contract with a stdlib-only static analyzer suite (see internal/lint):
 //
-//	walltime    no wall-clock reads in internal/ — time flows through sim.Engine
-//	globalrand  no package-level math/rand draws — inject a seeded *rand.Rand
-//	maporder    no order-sensitive effects inside map iteration
-//	errdrop     no discarded errors from domain-critical calls
+//	walltime     no wall-clock reads in internal/ — time flows through sim.Engine
+//	globalrand   no package-level math/rand draws — inject a seeded *rand.Rand
+//	maporder     no order-sensitive effects inside map iteration
+//	errdrop      no discarded errors from domain-critical calls
+//	jitterrand   no composite-literal resilience executors — use the New* constructors
+//	enginerace   no goroutine capture or channel transfer of engine state
+//	snapcapture  no engine-scheduled closures over mutable captures (Fork-invisible)
+//	snapleaf     no chan/unsafe.Pointer/mutable-func fields reachable from a SnapRoot
+//	snaproot     state mutated by engine events must be SnapRoot-reachable
 //
 // Usage:
 //
@@ -47,7 +52,7 @@ func main() {
 
 	if *list {
 		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return
 	}

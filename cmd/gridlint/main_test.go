@@ -53,7 +53,10 @@ func TestGridlintExitCodes(t *testing.T) {
 	if code != 1 {
 		t.Errorf("gridlint on known-bad corpus: exit %d, want 1\n%s", code, out)
 	}
-	for _, analyzer := range []string{"walltime", "globalrand", "maporder", "errdrop"} {
+	for _, analyzer := range []string{
+		"walltime", "globalrand", "maporder", "errdrop",
+		"snapcapture", "snapleaf", "snaproot",
+	} {
 		if !strings.Contains(out, analyzer+":") {
 			t.Errorf("corpus run output missing findings from %s:\n%s", analyzer, out)
 		}
@@ -79,7 +82,10 @@ func TestGridlintList(t *testing.T) {
 	if err != nil {
 		t.Fatalf("gridlint -list: %v", err)
 	}
-	for _, analyzer := range []string{"walltime", "globalrand", "maporder", "errdrop"} {
+	for _, analyzer := range []string{
+		"walltime", "globalrand", "maporder", "errdrop",
+		"jitterrand", "enginerace", "snapcapture", "snapleaf", "snaproot",
+	} {
 		if !strings.Contains(string(out), analyzer) {
 			t.Errorf("gridlint -list missing %q:\n%s", analyzer, out)
 		}

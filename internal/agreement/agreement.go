@@ -185,6 +185,11 @@ func NewResponder(eng *sim.Engine, net *simnet.Network, host string, enforce Enf
 	h.Handle(SvcStatus, r.handleStatus)
 	h.Handle(SvcTerminate, r.handleTerminate)
 	h.Handle(SvcRenegotiate, r.handleRenegotiate)
+	// Expiry events mutate agreements and responder counters, so the
+	// whole responder must be in the snapshot walker's reach for
+	// Engine.Fork to rewind it (the responder is not hung off the
+	// core.Build federation root — agreements run on bare engines too).
+	eng.SnapRoot("agreement.responder/"+host, r)
 	return r
 }
 

@@ -92,6 +92,7 @@ func RunAvailability(seed int64, ks []int, horizon time.Duration) *metrics.Table
 	}
 	for i := 0; i < nSites; i++ {
 		i := i
+		//gridlint:ignore snapcapture run-to-completion experiment harness on a local engine that is never snapshotted or forked
 		eng.Schedule(workload.Exp(rng, mtbf), func() { flip(i) })
 	}
 	eng.RunUntil(horizon)
@@ -128,6 +129,7 @@ func RunBackfillAblation(seed int64, slots, nJobs int) *metrics.Table {
 		var done []*gram.Job
 		for _, wj := range jobs {
 			wj := wj
+			//gridlint:ignore snapcapture run-to-completion experiment harness on a local engine that is never snapshotted or forked
 			eng.At(wj.Arrival, func() {
 				spec, err := rsl.Parse(wj.RSL())
 				if err != nil {
@@ -327,6 +329,7 @@ func RunManagedAvailability(seed int64, target int, horizon time.Duration) *metr
 	}
 	for _, s := range names {
 		s := s
+		//gridlint:ignore snapcapture run-to-completion experiment harness on a local engine that is never snapshotted or forked
 		eng.Schedule(workload.Exp(rng, mtbf), func() { flip(s) })
 	}
 	eng.RunUntil(horizon)

@@ -39,6 +39,7 @@ func SubmitWithRetry(ex *resilience.Executor, br *resilience.Breaker, net *simne
 	var last SubmitReply
 	pol := ex.Policy()
 	pol.Retryable = retryableTransport
+	//gridlint:ignore snapcapture call-scoped reply accumulator; in-flight retry chains are exercised by the resilience fork differential gate
 	ex.DoWithPolicy("gram.submit", pol, br, func(attempt int, settle func(error)) {
 		Submit(net, from, gatekeeper, req, timeout, func(r SubmitReply, err error) {
 			if err == nil {
@@ -60,6 +61,7 @@ func CancelWithRetry(ex *resilience.Executor, br *resilience.Breaker, net *simne
 	var last StatusReply
 	pol := ex.Policy()
 	pol.Retryable = retryableTransport
+	//gridlint:ignore snapcapture call-scoped reply accumulator; in-flight retry chains are exercised by the resilience fork differential gate
 	ex.DoWithPolicy("gram.cancel", pol, br, func(attempt int, settle func(error)) {
 		Cancel(net, from, gatekeeper, jobID, timeout, func(r StatusReply, err error) {
 			if err == nil {

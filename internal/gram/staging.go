@@ -107,6 +107,7 @@ func SubmitStaged(net *simnet.Network, from, gatekeeper string, req StagedReques
 			finish(errors.Join(ErrStageFailed, err))
 			return
 		}
+		//gridlint:ignore snapleaf call-scoped completion guard; staged-call closures die with the call and flows are torn down on fork boundaries
 		flow.OnFail = func(_ *simnet.Flow, e error) { finish(errors.Join(ErrStageFailed, e)) }
 		return
 	}

@@ -9,11 +9,17 @@ import (
 	"strings"
 )
 
-// An Analyzer is one named check over a type-checked package.
+// An Analyzer is one named check over type-checked packages. Most
+// analyzers are per-package (Run); analyzers whose verdicts depend on
+// facts spread across packages — e.g. "is this type registered as a
+// snapshot root anywhere in the module" — implement RunAll instead and
+// see every loaded package in a single pass. An analyzer sets exactly
+// one of the two.
 type Analyzer struct {
-	Name string // short lowercase name, used in diagnostics and directives
-	Doc  string // one-line description
-	Run  func(*Pass)
+	Name   string // short lowercase name, used in diagnostics and directives
+	Doc    string // one-line description
+	Run    func(*Pass)
+	RunAll func(*AllPass)
 }
 
 // Pass carries one analyzer's view of one package plus the report sink.
@@ -27,6 +33,25 @@ type Pass struct {
 // Reportf records a diagnostic at pos. The hint tells the developer how
 // to restore the determinism contract; it is appended to the message.
 func (p *Pass) Reportf(pos token.Pos, hint string, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Hint:     hint,
+	})
+}
+
+// AllPass carries a whole-program analyzer's view of every loaded
+// package plus the report sink.
+type AllPass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkgs     []*Package
+	findings *[]Finding
+}
+
+// Reportf records a diagnostic at pos, exactly as Pass.Reportf does.
+func (p *AllPass) Reportf(pos token.Pos, hint string, format string, args ...any) {
 	*p.findings = append(*p.findings, Finding{
 		Analyzer: p.Analyzer.Name,
 		Pos:      p.Fset.Position(pos),
@@ -64,6 +89,9 @@ func Analyzers() []*Analyzer {
 		ErrdropAnalyzer,
 		JitterrandAnalyzer,
 		EngineraceAnalyzer,
+		SnapcaptureAnalyzer,
+		SnapleafAnalyzer,
+		SnaprootAnalyzer,
 	}
 }
 
@@ -106,9 +134,18 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) Result {
 	var all []Finding
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{Analyzer: a, Fset: fset, Pkg: pkg, findings: &all}
 			a.Run(pass)
 		}
+	}
+	for _, a := range analyzers {
+		if a.RunAll == nil {
+			continue
+		}
+		a.RunAll(&AllPass{Analyzer: a, Fset: fset, Pkgs: pkgs, findings: &all})
 	}
 
 	run := map[string]bool{}

@@ -110,6 +110,31 @@ func TestErrdropCorpus(t *testing.T)    { runCorpus(t, "errdrop", ErrdropAnalyze
 func TestJitterrandCorpus(t *testing.T) { runCorpus(t, "jitterrand", JitterrandAnalyzer) }
 func TestEngineraceCorpus(t *testing.T) { runCorpus(t, "enginerace", EngineraceAnalyzer) }
 
+func TestSnapcaptureCorpus(t *testing.T) { runCorpus(t, "snapcapture", SnapcaptureAnalyzer) }
+func TestSnapleafCorpus(t *testing.T)    { runCorpus(t, "snapleaf", SnapleafAnalyzer) }
+func TestSnaprootCorpus(t *testing.T)    { runCorpus(t, "snaproot", SnaprootAnalyzer) }
+
+// TestSnapcaptureCatchesChaosRunRegression is the regression gate for
+// the PR 6 chaosRun bug: the job counter, the private rand.Rand, and
+// the seen-set lived only in ticker captures, so forked timelines
+// replayed with post-snapshot state. The corpus preserves that exact
+// shape; snapcapture must flag all three captures.
+func TestSnapcaptureCatchesChaosRunRegression(t *testing.T) {
+	res := runCorpus(t, "snapcapture", SnapcaptureAnalyzer)
+	for _, name := range []string{`"next"`, `"jobRng"`, `"seen"`} {
+		found := false
+		for _, f := range res.Findings {
+			if f.Analyzer == "snapcapture" && strings.Contains(f.Message, name) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("chaosRun regression shape: no snapcapture finding mentions %s", name)
+		}
+	}
+}
+
 // TestJitterrandSkipsResiliencePackage: the guarded package's own files
 // (constructors, tests) may build the literals.
 func TestJitterrandSkipsResiliencePackage(t *testing.T) {

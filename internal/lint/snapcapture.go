@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SnapcaptureAnalyzer flags engine-scheduled closures that capture
+// mutable state the snapshot walker cannot see. Engine.Snapshot treats
+// func values as leaves: a Fork restores the func word bitwise but not
+// the heap cells behind its captures, so a scheduled callback that
+// keeps counters, cursors, or a private rand.Rand in closure variables
+// replays with post-snapshot state — the exact chaosRun bug PR 6 fixed
+// by hoisting that state into a SnapRoot-registered struct.
+//
+// Two shapes are flagged, per callback literal (plus named local
+// closures it calls, one level deep):
+//
+//   - a captured local the callback writes (rebind, ++/--, or a
+//     field/index write through a value-typed capture);
+//   - a pointer/map/slice created in the enclosing function and never
+//     anchored outside the callbacks — reachable only through the func
+//     value, hence never captured by a snapshot.
+//
+// The fix is PR 6's idiom: hoist the state into a named struct,
+// register it with Engine.SnapRoot (or hang it off an existing root),
+// and make the callback a method value or a closure over that struct.
+var SnapcaptureAnalyzer = &Analyzer{
+	Name: "snapcapture",
+	Doc:  "engine-scheduled closure captures mutable state invisible to Snapshot/Fork",
+	Run:  runSnapcapture,
+}
+
+func runSnapcapture(pass *Pass) {
+	if !strings.Contains(pass.Pkg.Path, "/internal/") {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		regions := fileFuncRegions(f)
+		// Group scheduling sites by innermost enclosing function body so
+		// each body builds one funcScope shared by all its sites.
+		type site struct {
+			call *ast.CallExpr
+			cbs  []ast.Expr
+		}
+		byBody := map[*ast.BlockStmt][]site{}
+		var bodies []*ast.BlockStmt
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			cbs := schedCallbackArgs(info, call)
+			if len(cbs) == 0 {
+				return true
+			}
+			r := innermostRegion(regions, call.Pos())
+			if r == nil {
+				return true
+			}
+			if _, seen := byBody[r.body]; !seen {
+				bodies = append(bodies, r.body)
+			}
+			byBody[r.body] = append(byBody[r.body], site{call, cbs})
+			return true
+		})
+		for _, body := range bodies {
+			sites := byBody[body]
+			fs := newFuncScope(info, body)
+			// Every callback literal in this scope is a capture context:
+			// uses inside any of them must not count as anchors.
+			type audit struct {
+				cb   ast.Expr
+				lits []*ast.FuncLit
+				recv *types.Var
+			}
+			var audits []audit
+			for _, s := range sites {
+				for _, cb := range s.cbs {
+					lits, recv := resolveCallback(fs, cb)
+					for _, lit := range lits {
+						for _, l := range fs.expand(lit) {
+							fs.capLits = append(fs.capLits, l)
+						}
+					}
+					audits = append(audits, audit{cb, lits, recv})
+				}
+			}
+			for _, a := range audits {
+				for _, lit := range a.lits {
+					for _, issue := range fs.captureIssues(fs.expand(lit)) {
+						reportCapture(pass, a.cb, issue)
+					}
+				}
+				// A method value (c.submitJob) captures c: if c is fresh
+				// local state never anchored elsewhere, the scheduled func
+				// value is its only reference — same escape as a literal.
+				if a.recv != nil && !fs.addrTakenOutside(a.recv) && fs.escapingCreation(a.recv) {
+					reportCapture(pass, a.cb, captureIssue{a.recv, "escaping"})
+				}
+			}
+		}
+	}
+}
+
+// resolveCallback maps a callback argument expression to the func
+// literals whose captures must be audited. A direct literal is itself;
+// an identifier bound to a local literal resolves through localFns; a
+// reference to a package-level function has no captures; a method value
+// x.m captures only x, whose pointee the walker handles if x is
+// anchored (snaproot's concern) — all of those return nil.
+func resolveCallback(fs *funcScope, cb ast.Expr) ([]*ast.FuncLit, *types.Var) {
+	switch e := unparen(cb).(type) {
+	case *ast.FuncLit:
+		return []*ast.FuncLit{e}, nil
+	case *ast.Ident:
+		if v, ok := fs.info.Uses[e].(*types.Var); ok {
+			if lit := fs.localFns[v]; lit != nil {
+				return []*ast.FuncLit{lit}, nil
+			}
+			return nil, v // func-typed value from elsewhere: opaque
+		}
+	case *ast.SelectorExpr:
+		// Method value: captures the receiver expression's root.
+		if id := rootIdent(e.X); id != nil {
+			if v, ok := fs.info.Uses[id].(*types.Var); ok {
+				return nil, v
+			}
+		}
+	}
+	return nil, nil
+}
+
+func reportCapture(pass *Pass, cb ast.Expr, issue captureIssue) {
+	switch issue.kind {
+	case "mutated":
+		pass.Reportf(cb.Pos(),
+			"hoist it into a SnapRoot-registered struct field",
+			"engine-scheduled closure mutates captured local %q: closure variables are snapshot-walker leaves, so Fork will not rewind it",
+			issue.v.Name())
+	case "escaping":
+		pass.Reportf(cb.Pos(),
+			"store it in a SnapRoot-registered struct (or pass it to the owner that is)",
+			"engine-scheduled closure is the only reference to locally created %q: its state is unreachable from any snapshot root, so Fork will not rewind it",
+			issue.v.Name())
+	}
+}

@@ -1,0 +1,55 @@
+// Package snapleaf is gridlint corpus: struct graphs registered with
+// Engine.SnapRoot must not smuggle state through walker-leaf fields.
+// chan and unsafe.Pointer fields lose their contents across Fork; func
+// fields keep the func word but lose the capture cells behind it.
+package snapleaf
+
+import (
+	"unsafe"
+
+	"repro/internal/sim"
+)
+
+// root is registered below as "corpus.root"; everything reachable from
+// it is subject to the leaf audit.
+type root struct {
+	inner inner
+	n     int
+
+	events chan int // want `chan-typed field snapleaf.root.events is a snapshot-walker leaf reachable from root "corpus.root"`
+}
+
+type inner struct {
+	OnDone func()
+	m      int
+
+	raw unsafe.Pointer // want `unsafe.Pointer-typed field snapleaf.inner.raw is a snapshot-walker leaf reachable from root "corpus.root"`
+}
+
+func register(eng *sim.Engine, r *root) {
+	eng.SnapRoot("corpus.root", r)
+}
+
+// Storing a closure over mutable locals into a reachable func field is
+// the capture bug one level removed: Fork restores the field bitwise,
+// so the same cells — with their post-snapshot values — come back.
+func badStore(r *root) {
+	n := 0
+	r.inner.OnDone = func() { n++ } // want `closure stored in snapshot-reachable func field snapleaf.inner.OnDone (root "corpus.root") captures mutable "n"`
+}
+
+func badCompositeStore(r *root) {
+	hits := 0
+	r.inner = inner{OnDone: func() { hits++ }} // want `captures mutable "hits"`
+}
+
+// Closing over the registered root itself is fine: the walker rewinds
+// r's fields, and the closure reads them fresh after a Fork.
+func goodStore(r *root) {
+	r.inner.OnDone = func() { r.n++ }
+}
+
+// A stateless callback is the common, legal shape (Ticker.fn is one).
+func goodStatelessStore(r *root) {
+	r.inner.OnDone = func() {}
+}

@@ -1,0 +1,87 @@
+// Package snaproot is gridlint corpus: state mutated by engine events
+// must be reachable from some SnapRoot registration. Each bad scenario
+// mutates its own orphan type because the analyzer reports each target
+// once, at the first scheduling site that touches it.
+package snaproot
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// registered is SnapRoot'd below: events may mutate it freely.
+type registered struct{ hits int }
+
+func setupRegistered(eng *sim.Engine, r *registered) {
+	eng.SnapRoot("corpus.registered", r)
+	_ = eng.Schedule(time.Second, func() { r.hits++ })
+}
+
+// orphanDirect is mutated through a captured pointer and never
+// registered anywhere.
+type orphanDirect struct{ hits int }
+
+func scheduleDirect(eng *sim.Engine, o *orphanDirect) {
+	_ = eng.Schedule(time.Second, func() { o.hits++ }) // want `mutates type snaproot.orphanDirect`
+}
+
+// orphanMethod is mutated by a method the event calls, one level deep.
+type orphanMethod struct{ n int }
+
+func (m *orphanMethod) bump() { m.n++ }
+
+func scheduleMethod(eng *sim.Engine, m *orphanMethod) {
+	_ = eng.Schedule(time.Second, func() { m.bump() }) // want `mutates type snaproot.orphanMethod`
+}
+
+// orphanMV is mutated by a method value scheduled directly.
+type orphanMV struct{ n int }
+
+func (m *orphanMV) bump() { m.n++ }
+
+func scheduleMethodValue(eng *sim.Engine, m *orphanMV) {
+	_ = eng.NewTicker(time.Minute, m.bump) // want `mutates type snaproot.orphanMV`
+}
+
+// looseHits is a package variable no registration covers.
+var looseHits int
+
+func schedulePkgVar(eng *sim.Engine) {
+	_ = eng.Schedule(time.Second, func() { looseHits++ }) // want `mutates package variable snaproot.looseHits`
+}
+
+// dropCount is mutated by a named package function used as a callback.
+var dropCount int
+
+func dropTick() { dropCount++ }
+
+func scheduleNamedFunc(eng *sim.Engine) {
+	_ = eng.NewTimer(dropTick) // want `mutates package variable snaproot.dropCount`
+}
+
+// anchoredHits is registered by address: covered.
+var anchoredHits int
+
+func setupPkgVar(eng *sim.Engine) {
+	eng.SnapRoot("corpus.hits", &anchoredHits)
+	_ = eng.Schedule(time.Second, func() { anchoredHits++ })
+}
+
+// Event-local state dies with the event: not a rewind hazard.
+type scratch struct{ n int }
+
+func scheduleLocal(eng *sim.Engine) {
+	_ = eng.Schedule(time.Second, func() {
+		s := &scratch{n: 1}
+		s.n++
+	})
+}
+
+// auditedOrphan's finding is silenced by a reasoned directive.
+type auditedOrphan struct{ n int }
+
+func scheduleAudited(eng *sim.Engine, a *auditedOrphan) {
+	//gridlint:ignore snaproot corpus: exercises suppression of an audited orphan target
+	_ = eng.Schedule(time.Second, func() { a.n++ })
+}

@@ -59,6 +59,7 @@ func ticker(n int) func(b *testing.B) {
 		b.ReportAllocs()
 		e := sim.NewEngine(1)
 		count := 0
+		//gridlint:ignore snapcapture microbenchmark counter on a throwaway engine that is never snapshotted
 		tk := e.NewTicker(time.Second, func() { count++ })
 		defer tk.Stop()
 		b.ResetTimer()

@@ -1,0 +1,61 @@
+package snaptest
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Scenario is the per-package differential hook: a layer describes how
+// to build itself on a fresh engine and how to serialize everything it
+// observably produced, and Run proves fork-vs-cold byte identity across
+// a seed grid. This is the same gate faultlab's chaos tests apply,
+// packaged so every layer that schedules engine events can assert its
+// own state survives Fork — without reconstructing the harness.
+//
+// The contract Build must honor is the snapshot-safety one the gridlint
+// analyzers enforce: every piece of mutable scenario state (logs and
+// counters included) must be reachable from a SnapRoot registration,
+// never held only in closure captures.
+type Scenario struct {
+	// Name labels divergence reports.
+	Name string
+	// Build constructs the layer under test on a fresh engine for seed
+	// and returns the engine plus a render function serializing every
+	// observable output accumulated so far. It must not run the engine.
+	Build func(seed int64) (*sim.Engine, func() []byte)
+	// WarmUntil is the virtual time at which the forked variant
+	// snapshots. Must be positive and before Horizon.
+	WarmUntil time.Duration
+	// Horizon is the virtual end time of both variants.
+	Horizon time.Duration
+}
+
+// Run replays the scenario cold (straight to Horizon) and forked (warm
+// to WarmUntil, snapshot, run dirty to Horizon, fork back, replay to
+// Horizon) for every seed, failing on the first byte of divergence.
+// Running past the snapshot before forking is the point: the rewind is
+// exercised against genuinely mutated state, not a freshly captured
+// no-op.
+func (s Scenario) Run(t testing.TB, seeds []int64) {
+	t.Helper()
+	if s.Build == nil || s.WarmUntil <= 0 || s.Horizon <= s.WarmUntil {
+		t.Fatalf("snaptest: scenario %q needs Build and 0 < WarmUntil < Horizon", s.Name)
+	}
+	Diff(t, s.Name, seeds,
+		func(seed int64) []byte {
+			eng, render := s.Build(seed)
+			eng.RunUntil(s.Horizon)
+			return render()
+		},
+		func(seed int64) []byte {
+			eng, render := s.Build(seed)
+			eng.RunUntil(s.WarmUntil)
+			snap := eng.Snapshot()
+			eng.RunUntil(s.Horizon) // dirty the timeline past the fork point
+			snap.Fork()
+			eng.RunUntil(s.Horizon) // replay it from the rewound state
+			return render()
+		})
+}

@@ -9,8 +9,10 @@
 // weaker comparison here would let fork drift hide behind formatting.
 //
 // The package knows nothing about upper layers (it depends only on the
-// standard library), so faultlab, core, and perf tests can all use it
-// without import cycles.
+// standard library and the sim kernel), so faultlab, core, and perf
+// tests can all use it without import cycles. Diff is the raw
+// cold-vs-forked comparator; Scenario (scenario.go) is the per-package
+// hook layers adopt to run the same gate over their own state.
 package snaptest
 
 import (

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// leafBox holds one field of every kind the snapshot walker treats as a
+// leaf, plus a scalar control. The walker saves and restores the struct
+// bitwise, so the field WORDS (func value, chan reference, string
+// header, raw pointer) rewind on Fork — but nothing BEHIND those words
+// is captured: closure cells, channel buffers, and unsafe pointees all
+// survive the rewind.
+type leafBox struct {
+	fn func() int
+	ch chan int
+	s  string
+	up unsafe.Pointer
+	n  int
+}
+
+// TestSnapwalkLeafSemantics is the table the snapshot-safety analyzers
+// (snapcapture, snapleaf, snaproot) enforce by construction: each row
+// pins one side of the leaf contract — which mutations Fork rewinds
+// (field words) and which it provably cannot (state reachable only
+// through a leaf). If a row in the "survives" half ever starts
+// rewinding, the walker grew a capability the analyzers assume absent;
+// if a row in the "rewinds" half breaks, Fork lost bitwise restore.
+func TestSnapwalkLeafSemantics(t *testing.T) {
+	one := func() int { return 1 }
+	two := func() int { return 2 }
+	var counter int
+	var chA, chB chan int
+	var x, y int
+
+	cases := []struct {
+		name   string
+		setup  func(b *leafBox)
+		mutate func(b *leafBox)
+		verify func(t *testing.T, b *leafBox)
+	}{
+		{
+			name:   "scalar field rewinds (control)",
+			setup:  func(b *leafBox) { b.n = 1 },
+			mutate: func(b *leafBox) { b.n = 2 },
+			verify: func(t *testing.T, b *leafBox) {
+				if b.n != 1 {
+					t.Fatalf("n = %d after fork, want 1", b.n)
+				}
+			},
+		},
+		{
+			name:   "string field rewinds (immutable, header restore is complete)",
+			setup:  func(b *leafBox) { b.s = "before" },
+			mutate: func(b *leafBox) { b.s = "after" },
+			verify: func(t *testing.T, b *leafBox) {
+				if b.s != "before" {
+					t.Fatalf("s = %q after fork, want %q", b.s, "before")
+				}
+			},
+		},
+		{
+			name:   "func field word rewinds",
+			setup:  func(b *leafBox) { b.fn = one },
+			mutate: func(b *leafBox) { b.fn = two },
+			verify: func(t *testing.T, b *leafBox) {
+				if got := b.fn(); got != 1 {
+					t.Fatalf("fn() = %d after fork, want 1 (pre-snapshot func value)", got)
+				}
+			},
+		},
+		{
+			name: "closure captures survive the rewind",
+			setup: func(b *leafBox) {
+				counter = 0
+				b.fn = func() int { counter++; return counter }
+			},
+			mutate: func(b *leafBox) { b.fn(); b.fn(); b.fn() },
+			verify: func(t *testing.T, b *leafBox) {
+				// The func word rewound to the same closure, but its capture
+				// cell kept the post-snapshot count: this is the bug class
+				// snapcapture exists to catch.
+				if got := b.fn(); got != 4 {
+					t.Fatalf("fn() = %d after fork, want 4 (captures are walker-invisible)", got)
+				}
+			},
+		},
+		{
+			name: "chan field word rewinds",
+			setup: func(b *leafBox) {
+				chA, chB = make(chan int, 1), make(chan int, 1)
+				b.ch = chA
+			},
+			mutate: func(b *leafBox) { b.ch = chB },
+			verify: func(t *testing.T, b *leafBox) {
+				if b.ch != chA {
+					t.Fatal("ch is not the pre-snapshot channel after fork")
+				}
+			},
+		},
+		{
+			name: "chan buffer survives the rewind",
+			setup: func(b *leafBox) {
+				b.ch = make(chan int, 2)
+			},
+			mutate: func(b *leafBox) { b.ch <- 42 },
+			verify: func(t *testing.T, b *leafBox) {
+				// The element enqueued after the snapshot is still buffered:
+				// channel internals are runtime state the walker cannot copy,
+				// which is why snapleaf flags chan fields unconditionally.
+				if got := len(b.ch); got != 1 {
+					t.Fatalf("len(ch) = %d after fork, want 1 (buffers are walker-invisible)", got)
+				}
+			},
+		},
+		{
+			name: "unsafe.Pointer word rewinds, pointee survives",
+			setup: func(b *leafBox) {
+				x, y = 1, 0
+				b.up = unsafe.Pointer(&x)
+			},
+			mutate: func(b *leafBox) {
+				*(*int)(b.up) = 9
+				b.up = unsafe.Pointer(&y)
+			},
+			verify: func(t *testing.T, b *leafBox) {
+				if b.up != unsafe.Pointer(&x) {
+					t.Fatal("up is not the pre-snapshot pointer after fork")
+				}
+				// The walker restored the word but never followed it: the
+				// typeless pointee kept its post-snapshot value.
+				if x != 9 {
+					t.Fatalf("x = %d after fork, want 9 (unsafe pointees are walker-invisible)", x)
+				}
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := NewEngine(1)
+			b := &leafBox{}
+			e.SnapRoot("leafbox", b)
+			tc.setup(b)
+			snap := e.Snapshot()
+			tc.mutate(b)
+			snap.Fork()
+			tc.verify(t, b)
+		})
+	}
+}

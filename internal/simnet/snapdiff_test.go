@@ -1,0 +1,111 @@
+package simnet
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/sim/snaptest"
+)
+
+// snapDriver is the differential scenario's workload state, hoisted into
+// a SnapRoot-registered struct per the snapshot-safety contract: the
+// event log, the request counter, and the workload rng must all rewind
+// with the network on Fork, so none of them may live in ticker captures.
+type snapDriver struct {
+	net *Network
+	rng *rand.Rand
+	log []string
+	seq int
+}
+
+func (d *snapDriver) emit(format string, args ...any) {
+	d.log = append(d.log, fmt.Sprintf("%v ", d.net.Engine().Now())+fmt.Sprintf(format, args...))
+}
+
+// tick drives one round of control- and data-plane churn: RPCs against
+// two targets, periodic partitions and host outages so calls time out
+// and flows die mid-transfer, and bulk flows with rng-drawn sizes.
+func (d *snapDriver) tick() {
+	d.seq++
+	id := d.seq
+	switch id % 7 {
+	case 2:
+		d.net.Partition("A", "B", true)
+		d.emit("cut A-B")
+	case 4:
+		d.net.Partition("A", "B", false)
+		d.emit("heal A-B")
+	case 6:
+		down := !d.net.Host("c1").Down()
+		d.net.SetDown("c1", down)
+		d.emit("c1 down=%v", down)
+	}
+	to := "b1"
+	if id%3 == 0 {
+		to = "c1"
+	}
+	d.net.Call("a1", to, "echo", id, 20*time.Second, func(resp any, err error) {
+		d.emit("call %d->%s resp=%v err=%v", id, to, resp, err)
+	})
+	if id%4 == 0 {
+		size := 200_000 + float64(d.rng.Intn(200_000))
+		fl, err := d.net.StartFlow("a1", "b1", size, FlowOpts{Streams: 1 + id%2}, func(*Flow) {
+			d.emit("flow %d done bytes=%.0f", id, size)
+		})
+		if err != nil {
+			d.emit("flow %d refused err=%v", id, err)
+			return
+		}
+		fl.OnFail = func(_ *Flow, e error) { d.emit("flow %d fail err=%v", id, e) }
+	}
+}
+
+func buildSimnetDiff(seed int64) (*sim.Engine, func() []byte) {
+	eng := sim.NewEngine(seed)
+	n := New(eng)
+	n.BaseLoss = 0.05
+	n.AddSite("A", 0, 0)
+	n.AddSite("B", 30, 0)
+	n.AddSite("C", 0, 40)
+	n.AddHost("a1", "A", 1e6)
+	n.AddHost("b1", "B", 1e6)
+	n.AddHost("c1", "C", 1e6)
+	echo := func(from string, req any) (any, error) { return req, nil }
+	n.Host("b1").Handle("echo", echo)
+	n.Host("c1").Handle("echo", echo)
+	d := &snapDriver{net: n, rng: eng.ForkRand()}
+	eng.SnapRoot("simnet.snapdiff", d)
+	eng.NewTicker(30*time.Second, d.tick)
+	render := func() []byte {
+		var b bytes.Buffer
+		for _, ln := range d.log {
+			fmt.Fprintln(&b, ln)
+		}
+		a := n.Host("a1")
+		fmt.Fprintf(&b, "a1 sent=%d recv=%d bytes=%.0f\n", a.MsgsSent, a.MsgsRecv, a.BytesSent)
+		return b.Bytes()
+	}
+	return eng, render
+}
+
+// TestForkVsColdSimnet is simnet's adoption of the snaptest scenario
+// hook: with calls in flight, flows mid-transfer, partitions toggling,
+// and loss draws pending, a forked run must be byte-identical to a cold
+// one — proving every piece of network state (calls map, flow set,
+// fluid system, rng) is in the snapshot walker's reach.
+func TestForkVsColdSimnet(t *testing.T) {
+	n := 20
+	if testing.Short() {
+		n = 4
+	}
+	snaptest.Scenario{
+		Name:      "simnet.churn",
+		Build:     buildSimnetDiff,
+		WarmUntil: 10 * time.Minute,
+		Horizon:   40 * time.Minute,
+	}.Run(t, snaptest.Seeds(1, n))
+}
