@@ -22,6 +22,7 @@ import (
 	"repro/internal/faultlab"
 	"repro/internal/obs"
 	"repro/internal/perf/chaos"
+	"repro/internal/workload/cdn"
 )
 
 var (
@@ -163,6 +164,10 @@ func commands() []command {
 				return fmt.Errorf("%d invariant violations", len(rep.Violations))
 			}
 			fmt.Println("\nall invariants held")
+			return nil
+		}},
+		{"cdn", "E12: CoDeeN-style overlay CDN, striped multipath vs single-stream under churn", func() error {
+			cdn.Curve(*seed, cdn.DefaultConfig(), cdn.CurveProfiles(), 10*time.Minute, *workers).Render(os.Stdout)
 			return nil
 		}},
 		{"trace", "run a scenario (fig2|delegation|chaos) with tracing on and export the trace", runTrace},

@@ -1,0 +1,85 @@
+package faultlab
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// NetInjector binds a schedule's network-visible faults to a bare
+// simnet.Network — no federation required. Workload scenarios that drive
+// the data plane directly (the overlay CDN) reuse the same generated
+// schedules as the full chaos harness, with the node/site/skew fault
+// classes degrading to counted no-ops since there is no management plane
+// to crash.
+type NetInjector struct {
+	net     *simnet.Network
+	windows []*sim.Window
+	trace   []string
+
+	// AppliedN and RevokedN count fault activations; SkippedN counts
+	// faults whose class needs a federation and was ignored.
+	AppliedN, RevokedN, SkippedN int
+}
+
+// InstallNet schedules every network fault of sched against the network
+// and returns the injector handle. Like Install, each fault becomes a
+// sim.Window so it is applied and revoked exactly once.
+func InstallNet(net *simnet.Network, sched *Schedule) *NetInjector {
+	inj := &NetInjector{net: net}
+	for i := range sched.Faults {
+		ft := sched.Faults[i]
+		apply, revoke := inj.netActions(ft)
+		if apply == nil {
+			inj.SkippedN++
+			continue
+		}
+		w := net.Engine().NewWindow(ft.At, ft.Duration,
+			func() {
+				inj.AppliedN++
+				inj.trace = append(inj.trace, fmt.Sprintf("t=%v apply %s", net.Engine().Now(), ft))
+				apply()
+			},
+			func() {
+				inj.RevokedN++
+				inj.trace = append(inj.trace, fmt.Sprintf("t=%v revoke %s", net.Engine().Now(), ft))
+				revoke()
+			})
+		inj.windows = append(inj.windows, w)
+	}
+	return inj
+}
+
+// netActions maps a fault to its apply/revoke pair on the bare network,
+// or (nil, nil) for classes that need a federation.
+func (inj *NetInjector) netActions(ft Fault) (apply, revoke func()) {
+	n := inj.net
+	switch ft.Kind {
+	case NetPartition:
+		return func() { n.Partition(ft.Site, ft.Peer, true) },
+			func() { n.Partition(ft.Site, ft.Peer, false) }
+	case LossBurst:
+		return func() { n.SetLoss(ft.Site, ft.Peer, ft.Loss) },
+			func() { n.ClearLoss(ft.Site, ft.Peer) }
+	case LatencyChurn:
+		return func() { n.SetLatency(ft.Site, ft.Peer, ft.Latency) },
+			func() { n.ClearLatency(ft.Site, ft.Peer) }
+	}
+	return nil, nil
+}
+
+// HealAll force-revokes every window: active faults are lifted now,
+// not-yet-applied faults are cancelled.
+func (inj *NetInjector) HealAll() {
+	for _, w := range inj.windows {
+		w.Revoke()
+	}
+}
+
+// Trace returns the apply/revoke log in execution order.
+func (inj *NetInjector) Trace() []string {
+	out := make([]string, len(inj.trace))
+	copy(out, inj.trace)
+	return out
+}

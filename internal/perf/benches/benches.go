@@ -103,6 +103,66 @@ func forkBench(n int) func(b *testing.B) {
 	}
 }
 
+// fluidChurn measures the max-min allocator under flow churn: a
+// clustered topology (16 clusters of 4 resources, consumers confined to
+// one cluster) with a steady pool of 64 long-lived consumers, through
+// `ops` remove+add pairs. Components stay small, so the incremental
+// dirty-set allocator re-fills ~4 consumers per change where the full
+// reference mode re-fills all 64 and reschedules every completion event
+// — the committed baseline pins the incremental entry at ≥2× the
+// admitted+removed flows/sec of the full one.
+func fluidChurn(ops int, full bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := sim.NewEngine(1)
+			s := sim.NewFluidSystem(e)
+			s.SetFullRecompute(full)
+			const clusters, per = 16, 4
+			res := make([]*sim.FluidResource, clusters*per)
+			for j := range res {
+				res[j] = s.NewResource(fmt.Sprintf("r%d", j), 100)
+			}
+			// Long-lived consumers (work far beyond the horizon) so the
+			// measured cost is pure add/remove reallocation churn.
+			add := func(c, k int) *sim.FluidConsumer {
+				fc := &sim.FluidConsumer{Name: "f", Weight: 1 + float64(k%3)}
+				s.Add(fc, 1e12, res[c*per+k%per], res[c*per+(k+1)%per])
+				return fc
+			}
+			live := make([]*sim.FluidConsumer, 0, clusters*4)
+			for c := 0; c < clusters; c++ {
+				for k := 0; k < 4; k++ {
+					live = append(live, add(c, k))
+				}
+			}
+			for op := 0; op < ops; op++ {
+				idx := op % len(live)
+				s.Remove(live[idx])
+				live[idx] = add(op%clusters, op)
+				e.RunUntil(e.Now() + time.Millisecond)
+			}
+		}
+	}
+}
+
+// Fluid returns the fluid-kernel churn benchmarks: the incremental
+// allocator and the full-recompute reference running the identical
+// churn script (the differential gates prove their outputs identical;
+// these measure the cost gap).
+func Fluid() []bench.Spec {
+	const ops = 1000
+	return []bench.Spec{{
+		Name:        "fluid/churn-1k",
+		EventsPerOp: 2 * ops, // flows admitted + removed per iteration
+		Fn:          fluidChurn(ops, false),
+	}, {
+		Name:        "fluid/incremental-vs-full",
+		EventsPerOp: 2 * ops,
+		Fn:          fluidChurn(ops, true),
+	}}
+}
+
 // Kernel returns the sim-kernel microbenchmark specs. sizes lists the
 // schedule/fire churn sizes; Smoke uses the small ones, the bench test
 // files add the 1M-event variant.
@@ -168,7 +228,7 @@ func Sweep() []bench.Spec {
 
 // All returns the full registry the gridlab bench subcommand runs.
 func All() []bench.Spec {
-	return append(Kernel(), Sweep()...)
+	return append(append(Kernel(), Fluid()...), Sweep()...)
 }
 
 func benchName(prefix string, n int) string {

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"slices"
 	"time"
 )
 
@@ -14,6 +15,25 @@ import (
 // flow-level network simulators; gridlab uses one instance for WAN
 // bandwidth sharing (internal/simnet) and one per node for
 // proportional-share CPU scheduling (internal/silk).
+//
+// Allocation is incremental: weighted max-min fairness decomposes exactly
+// across connected components of the consumer↔resource sharing graph, so a
+// change (consumer add/remove, limit change, capacity change) re-fills only
+// the component containing the change — the "dirty set" — and leaves every
+// other component's rates untouched. Within the dirty set the progressive
+// filling iterates consumers in admission order and resources in creation
+// order, which makes the float arithmetic bit-identical to a global
+// recompute restricted to that component; SetFullRecompute(true) disables
+// the pruning and is the reference mode the differential gates compare
+// against. Completion events are rescheduled only for consumers whose rate
+// actually changed: an unchanged rate means the pending event's
+// ceil-rounded ETA is still exact, so cancel+reschedule churn (previously
+// O(N) per change) tracks the size of the rate change, not the system.
+//
+// All allocator state — including the reusable scratch slices — lives in
+// struct fields reachable from the FluidSystem, never in closure captures,
+// so engine snapshots taken mid-run restore the allocator exactly (see
+// snap.go and the snapshot-safety analyzers).
 
 // FluidResource is a capacity-limited resource, e.g. a link direction or a
 // node's CPU. Capacity is in work units per second.
@@ -21,18 +41,30 @@ type FluidResource struct {
 	Name     string
 	capacity float64
 	sys      *FluidSystem
+	idx      int32 // dense index in sys.resources (creation order)
+
+	// consumers are the live consumers crossing this resource, in
+	// admission order — the edge list the dirty-set walk follows.
+	consumers []*FluidConsumer
+
+	// Scratch used during one fill; meaningful only mid-reallocation.
+	avail    float64
+	weightOn float64
+	visited  uint64 // dirty-walk epoch stamp
 }
 
 // Capacity returns the resource's current capacity in units/second.
 func (r *FluidResource) Capacity() float64 { return r.capacity }
 
-// SetCapacity changes the capacity and reallocates all rates.
+// SetCapacity changes the capacity and reallocates the rates of the
+// resource's connected component.
 func (r *FluidResource) SetCapacity(c float64) {
 	if c < 0 || math.IsNaN(c) {
 		panic(fmt.Sprintf("sim: invalid capacity %v for %s", c, r.Name))
 	}
 	r.capacity = c
-	r.sys.reallocate()
+	r.sys.seedR[0] = r
+	r.sys.reallocAround(nil, r.sys.seedR[:])
 }
 
 // FluidConsumer is one unit of demand draining through one or more
@@ -45,7 +77,9 @@ type FluidConsumer struct {
 	Weight float64
 	// Limit caps the consumer's rate independent of fair share, in
 	// units/second; 0 means unlimited. Used for TCP loss-limited rates and
-	// token-bucket ceilings.
+	// token-bucket ceilings. Change it on a live consumer via SetLimit,
+	// which triggers reallocation; writing the field directly takes effect
+	// only at the next reallocation touching the consumer.
 	Limit float64
 	// OnDone fires when Remaining reaches zero; the consumer is removed
 	// before the callback runs.
@@ -59,6 +93,12 @@ type FluidConsumer struct {
 	done       Event
 	lastUpdate time.Duration
 	started    time.Duration
+	seq        uint64 // admission order, stable across removals
+	live       bool
+
+	// Scratch used during one fill; meaningful only mid-reallocation.
+	visited uint64
+	frozen  bool
 }
 
 // doneEps is the absolute remaining-work tolerance below which the
@@ -75,11 +115,38 @@ func (c *FluidConsumer) Remaining() float64 {
 	return c.remaining
 }
 
+// Transferred returns the work completed as of the current virtual time.
+// It remains valid (and frozen) after the consumer is removed, which is
+// what lets callers charge exactly the bytes a cancelled transfer moved.
+func (c *FluidConsumer) Transferred() float64 {
+	c.settle()
+	return c.total - c.remaining
+}
+
 // Started returns the virtual time the consumer was added.
 func (c *FluidConsumer) Started() time.Duration { return c.started }
 
+// SetLimit changes the consumer's rate cap (0 = unlimited) and, for a
+// live consumer, reallocates its component — the hook loss/RTT churn uses
+// to re-cap in-flight TCP streams. A bitwise-equal limit is a no-op.
+func (c *FluidConsumer) SetLimit(limit float64) {
+	if limit < 0 || math.IsNaN(limit) {
+		panic(fmt.Sprintf("sim: consumer %q invalid limit %v", c.Name, limit))
+	}
+	if limit == c.Limit {
+		return
+	}
+	c.Limit = limit
+	if c.live {
+		c.sys.reallocAround(c, nil)
+	}
+}
+
 // settle charges progress since the last update at the current rate.
 func (c *FluidConsumer) settle() {
+	if c.sys == nil {
+		return
+	}
 	now := c.sys.eng.Now()
 	if now > c.lastUpdate {
 		c.remaining -= c.rate * (now - c.lastUpdate).Seconds()
@@ -91,20 +158,33 @@ func (c *FluidConsumer) settle() {
 }
 
 // FluidSystem owns a set of resources and the consumers draining through
-// them, recomputing the weighted max-min fair allocation on every change.
+// them, recomputing the weighted max-min fair allocation of the affected
+// component on every change.
 type FluidSystem struct {
 	eng       *Engine
 	resources []*FluidResource
-	consumers map[*FluidConsumer]struct{}
-	order     []*FluidConsumer // insertion order, for deterministic iteration
+	order     []*FluidConsumer // live consumers in admission order
+	liveN     int
+	seqC      uint64 // admission sequence source
+	epoch     uint64 // dirty-walk epoch source
+
+	// full disables dirty-set pruning: every reallocation re-fills all
+	// components. The differential gates compare this reference mode
+	// against the pruned one.
+	full bool
+
+	// Reusable scratch, reachable from the system so snapshots restore it
+	// (the contents are only meaningful mid-reallocation).
+	dirtyC  []*FluidConsumer
+	dirtyR  []*FluidResource
+	queueR  []*FluidResource
+	newRate []float64
+	seedR   [1]*FluidResource
 }
 
 // NewFluidSystem returns an empty system bound to the engine.
 func NewFluidSystem(eng *Engine) *FluidSystem {
-	return &FluidSystem{
-		eng:       eng,
-		consumers: make(map[*FluidConsumer]struct{}),
-	}
+	return &FluidSystem{eng: eng}
 }
 
 // NewResource registers a resource with the given capacity (units/sec).
@@ -112,14 +192,22 @@ func (s *FluidSystem) NewResource(name string, capacity float64) *FluidResource 
 	if capacity < 0 || math.IsNaN(capacity) {
 		panic(fmt.Sprintf("sim: invalid capacity %v for %s", capacity, name))
 	}
-	r := &FluidResource{Name: name, capacity: capacity, sys: s}
+	r := &FluidResource{Name: name, capacity: capacity, sys: s, idx: int32(len(s.resources))}
 	s.resources = append(s.resources, r)
 	return r
 }
 
+// SetFullRecompute toggles the reference allocation mode: when on, every
+// change re-fills all components instead of only the dirty one. Rates,
+// completion order, and completion timestamps are byte-identical in both
+// modes (the differential property tests enforce this); full mode exists
+// as the comparison baseline for those gates and for benchmarks.
+func (s *FluidSystem) SetFullRecompute(on bool) { s.full = on }
+
 // Add starts a consumer with the given amount of work across the listed
 // resources and returns it. A consumer with no resources is limited only
 // by its Limit (or runs instantaneously if Limit is 0 — disallowed).
+// Zero work completes immediately: OnDone fires before Add returns.
 func (s *FluidSystem) Add(c *FluidConsumer, work float64, resources ...*FluidResource) *FluidConsumer {
 	if c.Weight <= 0 {
 		panic(fmt.Sprintf("sim: consumer %q weight %v must be positive", c.Name, c.Weight))
@@ -138,31 +226,57 @@ func (s *FluidSystem) Add(c *FluidConsumer, work float64, resources ...*FluidRes
 	c.sys = s
 	c.remaining = work
 	c.total = work
+	c.rate = 0
+	c.done = Event{}
 	c.resources = append([]*FluidResource(nil), resources...)
 	c.lastUpdate = s.eng.Now()
 	c.started = s.eng.Now()
-	s.consumers[c] = struct{}{}
+	if work <= c.doneEps() {
+		// Nothing to transfer: complete synchronously without ever joining
+		// the allocation, as the previous global recompute did.
+		c.remaining = 0
+		if c.OnDone != nil {
+			c.OnDone()
+		}
+		return c
+	}
+	s.seqC++
+	c.seq = s.seqC
+	c.live = true
+	s.liveN++
 	s.order = append(s.order, c)
-	s.reallocate()
+	for _, r := range c.resources {
+		r.consumers = append(r.consumers, c)
+	}
+	s.reallocAround(c, nil)
 	return c
 }
 
 // Remove cancels a consumer without firing OnDone. Safe on finished ones.
 func (s *FluidSystem) Remove(c *FluidConsumer) {
-	if _, ok := s.consumers[c]; !ok {
+	if !c.live || c.sys != s {
 		return
 	}
 	c.settle()
 	s.detach(c)
-	s.reallocate()
+	s.reallocAround(nil, c.resources)
 }
 
 func (s *FluidSystem) detach(c *FluidConsumer) {
-	delete(s.consumers, c)
+	c.live = false
+	s.liveN--
 	for i, x := range s.order {
 		if x == c {
 			s.order = append(s.order[:i], s.order[i+1:]...)
 			break
+		}
+	}
+	for _, r := range c.resources {
+		for i, x := range r.consumers {
+			if x == c {
+				r.consumers = append(r.consumers[:i], r.consumers[i+1:]...)
+				break
+			}
 		}
 	}
 	s.eng.Cancel(c.done)
@@ -171,88 +285,149 @@ func (s *FluidSystem) detach(c *FluidConsumer) {
 }
 
 // Len returns the number of active consumers.
-func (s *FluidSystem) Len() int { return len(s.consumers) }
+func (s *FluidSystem) Len() int { return s.liveN }
 
-// reallocate recomputes all rates via weighted progressive filling and
-// reschedules completion events.
-func (s *FluidSystem) reallocate() {
-	// Charge elapsed progress at old rates first.
-	for _, c := range s.order {
-		c.settle()
+// reallocAround recomputes rates for the connected component(s) touched
+// by a change seeded at consumer c (may be nil) and/or resources rs, then
+// reschedules completion events for the consumers whose rate changed.
+func (s *FluidSystem) reallocAround(c *FluidConsumer, rs []*FluidResource) {
+	s.collectDirty(c, rs)
+	s.fill()
+	s.applyRates()
+}
+
+// collectDirty walks the sharing graph from the seeds and leaves the
+// affected consumers in s.dirtyC (admission order) and resources in
+// s.dirtyR (creation order). In full mode it selects everything.
+func (s *FluidSystem) collectDirty(seedC *FluidConsumer, seedR []*FluidResource) {
+	s.dirtyC = s.dirtyC[:0]
+	s.dirtyR = s.dirtyR[:0]
+	s.queueR = s.queueR[:0]
+	if s.full {
+		s.dirtyC = append(s.dirtyC, s.order...)
+		s.dirtyR = append(s.dirtyR, s.resources...)
+		return
 	}
-	// Fire any consumers that finished exactly now.
-	var finished []*FluidConsumer
-	for _, c := range s.order {
-		if c.remaining <= c.doneEps() {
-			finished = append(finished, c)
+	s.epoch++
+	if seedC != nil && seedC.live {
+		seedC.visited = s.epoch
+		s.dirtyC = append(s.dirtyC, seedC)
+		for _, r := range seedC.resources {
+			if r.visited != s.epoch {
+				r.visited = s.epoch
+				s.dirtyR = append(s.dirtyR, r)
+				s.queueR = append(s.queueR, r)
+			}
 		}
 	}
-	for _, c := range finished {
-		s.detach(c)
+	for _, r := range seedR {
+		if r.visited != s.epoch {
+			r.visited = s.epoch
+			s.dirtyR = append(s.dirtyR, r)
+			s.queueR = append(s.queueR, r)
+		}
 	}
+	for len(s.queueR) > 0 {
+		r := s.queueR[len(s.queueR)-1]
+		s.queueR = s.queueR[:len(s.queueR)-1]
+		for _, c := range r.consumers {
+			if c.visited == s.epoch {
+				continue
+			}
+			c.visited = s.epoch
+			s.dirtyC = append(s.dirtyC, c)
+			for _, cr := range c.resources {
+				if cr.visited != s.epoch {
+					cr.visited = s.epoch
+					s.dirtyR = append(s.dirtyR, cr)
+					s.queueR = append(s.queueR, cr)
+				}
+			}
+		}
+	}
+	// Canonical order makes the component fill's float arithmetic match a
+	// full recompute's (which iterates admission/creation order) exactly.
+	slices.SortFunc(s.dirtyC, func(a, b *FluidConsumer) int {
+		switch {
+		case a.seq < b.seq:
+			return -1
+		case a.seq > b.seq:
+			return 1
+		}
+		return 0
+	})
+	slices.SortFunc(s.dirtyR, func(a, b *FluidResource) int { return int(a.idx - b.idx) })
+}
 
-	// Progressive filling over the unfrozen set.
-	avail := make(map[*FluidResource]float64, len(s.resources))
-	for _, r := range s.resources {
-		avail[r] = r.capacity
+// fill runs weighted progressive filling over the dirty set, writing the
+// computed rates into s.newRate (parallel to s.dirtyC) without touching
+// consumer state. Each round freezes either one rate-capped consumer or
+// every consumer crossing the saturating resource, at the minimum of the
+// resource ratios (avail/weight-on) and consumer cap ratios
+// (Limit/Weight) — identical arithmetic to a global fill restricted to
+// these components, since components never share resources.
+func (s *FluidSystem) fill() {
+	dc, dr := s.dirtyC, s.dirtyR
+	if cap(s.newRate) < len(dc) {
+		s.newRate = make([]float64, len(dc))
 	}
-	unfrozen := make(map[*FluidConsumer]struct{}, len(s.order))
-	for _, c := range s.order {
-		unfrozen[c] = struct{}{}
-		c.rate = 0
+	s.newRate = s.newRate[:len(dc)]
+	for _, r := range dr {
+		r.avail = r.capacity
 	}
-	for len(unfrozen) > 0 {
-		// Per-resource fair share per unit weight.
-		weightOn := make(map[*FluidResource]float64)
-		for _, c := range s.order {
-			if _, ok := unfrozen[c]; !ok {
+	for i, c := range dc {
+		c.frozen = false
+		s.newRate[i] = 0
+	}
+	unfrozen := len(dc)
+	for unfrozen > 0 {
+		for _, r := range dr {
+			r.weightOn = 0
+		}
+		for _, c := range dc {
+			if c.frozen {
 				continue
 			}
 			for _, r := range c.resources {
-				weightOn[r] += c.Weight
+				r.weightOn += c.Weight
 			}
 		}
-		// The binding constraint is the minimum of resource ratios and
-		// consumer cap ratios (Limit/Weight).
 		minRatio := math.Inf(1)
 		var minRes *FluidResource
-		var minCapped *FluidConsumer
-		for _, r := range s.resources {
-			w := weightOn[r]
-			if w == 0 {
+		minCapped := -1
+		for _, r := range dr {
+			if r.weightOn == 0 {
 				continue
 			}
-			ratio := avail[r] / w
-			if ratio < minRatio {
-				minRatio, minRes, minCapped = ratio, r, nil
+			if ratio := r.avail / r.weightOn; ratio < minRatio {
+				minRatio, minRes, minCapped = ratio, r, -1
 			}
 		}
-		for _, c := range s.order {
-			if _, ok := unfrozen[c]; !ok {
+		for i, c := range dc {
+			if c.frozen || c.Limit <= 0 {
 				continue
 			}
-			if c.Limit > 0 {
-				ratio := c.Limit / c.Weight
-				if ratio < minRatio {
-					minRatio, minRes, minCapped = ratio, nil, c
-				}
+			if ratio := c.Limit / c.Weight; ratio < minRatio {
+				minRatio, minRes, minCapped = ratio, nil, i
 			}
 		}
 		switch {
-		case minCapped != nil:
+		case minCapped >= 0:
 			// One consumer hits its rate cap below everyone's fair share.
-			minCapped.rate = minCapped.Limit
-			for _, r := range minCapped.resources {
-				avail[r] -= minCapped.rate
-				if avail[r] < 0 {
-					avail[r] = 0
+			c := dc[minCapped]
+			s.newRate[minCapped] = c.Limit
+			for _, r := range c.resources {
+				r.avail -= c.Limit
+				if r.avail < 0 {
+					r.avail = 0
 				}
 			}
-			delete(unfrozen, minCapped)
+			c.frozen = true
+			unfrozen--
 		case minRes != nil:
 			// A resource saturates: freeze everyone crossing it.
-			for _, c := range s.order {
-				if _, ok := unfrozen[c]; !ok {
+			for i, c := range dc {
+				if c.frozen {
 					continue
 				}
 				uses := false
@@ -265,59 +440,94 @@ func (s *FluidSystem) reallocate() {
 				if !uses {
 					continue
 				}
-				c.rate = c.Weight * minRatio
+				rate := c.Weight * minRatio
+				s.newRate[i] = rate
 				for _, r := range c.resources {
-					avail[r] -= c.rate
-					if avail[r] < 0 {
-						avail[r] = 0
+					r.avail -= rate
+					if r.avail < 0 {
+						r.avail = 0
 					}
 				}
-				delete(unfrozen, c)
+				c.frozen = true
+				unfrozen--
 			}
-			avail[minRes] = 0
+			minRes.avail = 0
 		default:
 			// Only unconstrained, uncapped consumers remain (no resources
 			// at all would have been rejected at Add). Nothing binds: this
 			// can only happen when all their resources have infinite
-			// capacity — treat as unlimited via a large finite rate.
-			for c := range unfrozen {
-				c.rate = math.Inf(1)
+			// capacity — treat as unlimited via an infinite rate.
+			for i, c := range dc {
+				if !c.frozen {
+					s.newRate[i] = math.Inf(1)
+					c.frozen = true
+				}
 			}
-			unfrozen = nil
-		}
-	}
-
-	// Reschedule completions at the new rates.
-	for _, c := range s.order {
-		s.eng.Cancel(c.done)
-		c.done = Event{}
-		if c.rate > 0 && !math.IsInf(c.rate, 1) {
-			// Round up to whole nanoseconds so the completion event never
-			// fires before the work is actually done (a truncated ETA
-			// would leave a sliver and loop at the same virtual time).
-			eta := time.Duration(math.Ceil(c.remaining / c.rate * float64(time.Second)))
-			if eta < 1 {
-				eta = 1
-			}
-			cc := c
-			c.done = s.eng.Schedule(eta, func() { s.finish(cc) })
-		} else if math.IsInf(c.rate, 1) {
-			cc := c
-			c.done = s.eng.Schedule(0, func() { s.finish(cc) })
-		}
-	}
-
-	// Run completion callbacks for consumers that were already done when
-	// we entered (after rates are consistent).
-	for _, c := range finished {
-		if c.OnDone != nil {
-			c.OnDone()
+			unfrozen = 0
 		}
 	}
 }
 
+// applyRates commits the filled rates: consumers whose rate is bitwise
+// unchanged are left entirely alone — their pending completion event's
+// ceil-rounded ETA is still exact — while changed consumers settle the
+// work done at the old rate and get a fresh completion event.
+func (s *FluidSystem) applyRates() {
+	now := s.eng.Now()
+	for i, c := range s.dirtyC {
+		nr := s.newRate[i]
+		if nr == c.rate {
+			continue
+		}
+		if now > c.lastUpdate {
+			c.remaining -= c.rate * (now - c.lastUpdate).Seconds()
+			if c.remaining < 0 {
+				c.remaining = 0
+			}
+		}
+		c.lastUpdate = now
+		c.rate = nr
+		s.eng.Cancel(c.done)
+		c.done = Event{}
+		switch {
+		case c.remaining <= c.doneEps():
+			// Already done as of the settle (a co-bottlenecked consumer
+			// finishing at exactly this instant): complete now rather than
+			// pushing the event a nanosecond into the future.
+			c.done = s.eng.Schedule(0, func() { s.finish(c) })
+		case nr > 0 && !math.IsInf(nr, 1):
+			c.done = s.eng.Schedule(completionEta(c.remaining, nr), func() { s.finish(c) })
+		case math.IsInf(nr, 1):
+			c.done = s.eng.Schedule(0, func() { s.finish(c) })
+		}
+		// nr == 0: starved — no event until capacity returns.
+	}
+}
+
+// maxEta caps completion ETAs at ~146 years of virtual time: a duration
+// beyond that cannot be represented (the float64→Duration conversion
+// would overflow to a bogus near-zero delay and grind the engine through
+// nanosecond-step events). Such a consumer effectively never finishes
+// unless a reallocation raises its rate, which replaces the event.
+const maxEta = time.Duration(math.MaxInt64 / 2)
+
+// completionEta returns the ceil-rounded delay until work `remaining`
+// drains at `rate`, at least 1ns (a truncated ETA would leave a sliver
+// and loop at the same virtual time), at most maxEta.
+func completionEta(remaining, rate float64) time.Duration {
+	sec := remaining / rate
+	if sec >= maxEta.Seconds() {
+		return maxEta
+	}
+	eta := time.Duration(math.Ceil(sec * float64(time.Second)))
+	if eta < 1 {
+		eta = 1
+	}
+	return eta
+}
+
 func (s *FluidSystem) finish(c *FluidConsumer) {
-	if _, ok := s.consumers[c]; !ok {
+	if !c.live {
 		return
 	}
 	c.settle()
@@ -325,13 +535,14 @@ func (s *FluidSystem) finish(c *FluidConsumer) {
 	// than one nanosecond of progress at the current rate (it can never
 	// be represented as a future event).
 	if c.remaining > c.doneEps() && c.remaining > c.rate*1e-9 {
-		// A rate change left real work; reallocate reschedules it.
-		s.reallocate()
+		// Defensive: real work remains (settle drift). The rate did not
+		// change, so reschedule directly from the settled remainder.
+		c.done = s.eng.Schedule(completionEta(c.remaining, c.rate), func() { s.finish(c) })
 		return
 	}
 	c.remaining = 0
 	s.detach(c)
-	s.reallocate()
+	s.reallocAround(nil, c.resources)
 	if c.OnDone != nil {
 		c.OnDone()
 	}

@@ -20,3 +20,9 @@ func BenchmarkKernel(b *testing.B) {
 		b.Run(spec.Name, spec.Fn)
 	}
 }
+
+func BenchmarkFluid(b *testing.B) {
+	for _, spec := range benches.Fluid() {
+		b.Run(spec.Name, spec.Fn)
+	}
+}

@@ -55,10 +55,13 @@ type Flow struct {
 
 type pathInfo struct {
 	resources []*sim.FluidResource
-	limit     float64
 	// crossings are the (sorted) site pairs the path's hops traverse, so a
 	// partition can identify exactly the streams it severs.
 	crossings [][2]string
+	// segs are the hop site pairs in path order (intra-site hops
+	// included), kept so the Mathis limit can be re-derived from current
+	// loss and latency whenever either changes mid-transfer.
+	segs [][2]string
 }
 
 func (pi pathInfo) crosses(key [2]string) bool {
@@ -125,7 +128,6 @@ func (n *Network) StartFlow(from, to string, bytes float64, opts FlowOpts, onDon
 		}
 	}
 	n.active[f] = struct{}{}
-	src.BytesSent += bytes
 	n.cFlowStart.Inc()
 	if n.tr != nil {
 		f.span = n.tr.Begin("net.flow",
@@ -159,9 +161,7 @@ func (n *Network) resolvePath(src, dst *Host, relays []string) (pathInfo, error)
 	hops = append(hops, dst)
 
 	var resources []*sim.FluidResource
-	var crossings [][2]string
-	var rtt time.Duration
-	survive := 1.0
+	var crossings, segs [][2]string
 	for i := 0; i+1 < len(hops); i++ {
 		a, b := hops[i], hops[i+1]
 		if n.Partitioned(a.Site, b.Site) {
@@ -170,11 +170,9 @@ func (n *Network) resolvePath(src, dst *Host, relays []string) (pathInfo, error)
 		if a.Site != b.Site {
 			crossings = append(crossings, pairKey(a.Site, b.Site))
 		}
-		rtt += 2 * n.Latency(a.Site, b.Site)
-		survive *= 1 - n.Loss(a.Site, b.Site)
+		segs = append(segs, [2]string{a.Site, b.Site})
 		resources = append(resources, a.up, b.down)
 	}
-	loss := 1 - survive
 	// De-duplicate resources (a relay contributes its down then its up; no
 	// duplicates arise today, but overlapping future topologies could).
 	seen := make(map[*sim.FluidResource]bool, len(resources))
@@ -190,12 +188,38 @@ func (n *Network) resolvePath(src, dst *Host, relays []string) (pathInfo, error)
 			return pathInfo{}, ErrZeroCapacity
 		}
 	}
-	limit := 0.0 // 0 = uncapped
-	if loss > 0 {
-		// Mathis et al.: BW = MSS / (RTT * sqrt(2p/3)).
-		limit = n.MTU / (rtt.Seconds() * math.Sqrt(2*loss/3))
+	return pathInfo{resources: uniq, crossings: crossings, segs: segs}, nil
+}
+
+// pathLimit derives the TCP rate cap for a path from the network's
+// current loss and latency — Mathis et al.: BW = MSS / (RTT * sqrt(2p/3)),
+// 0 meaning uncapped on a lossless path. Streams are created with it and
+// re-capped through it when loss or latency churns mid-transfer.
+func (n *Network) pathLimit(segs [][2]string) float64 {
+	var rtt time.Duration
+	survive := 1.0
+	for _, s := range segs {
+		rtt += 2 * n.Latency(s[0], s[1])
+		survive *= 1 - n.Loss(s[0], s[1])
 	}
-	return pathInfo{resources: uniq, limit: limit, crossings: crossings}, nil
+	loss := 1 - survive
+	if loss <= 0 {
+		return 0
+	}
+	return n.MTU / (rtt.Seconds() * math.Sqrt(2*loss/3))
+}
+
+// retune re-derives the Mathis limit of every live stream crossing the
+// given site pair, pushing the new cap into the fluid system (which
+// reallocates only the affected component). Called on loss and latency
+// changes so in-flight transfers track current path conditions instead of
+// keeping the cap computed at start.
+func (f *Flow) retune(key [2]string) {
+	for _, c := range f.order {
+		if pi := f.pathOf[c]; pi.crosses(key) {
+			c.SetLimit(f.net.pathLimit(pi.segs))
+		}
+	}
 }
 
 func (f *Flow) addStream(pi pathInfo, bytes float64) {
@@ -204,7 +228,7 @@ func (f *Flow) addStream(pi pathInfo, bytes float64) {
 	c := &sim.FluidConsumer{
 		Name:   fmt.Sprintf("%s->%s#%d", f.From, f.To, f.netstream),
 		Weight: f.opts.Weight,
-		Limit:  pi.limit,
+		Limit:  f.net.pathLimit(pi.segs),
 	}
 	c.OnDone = func() { f.streamDone(c) }
 	f.net.flows.Add(c, bytes, pi.resources...)
@@ -213,8 +237,14 @@ func (f *Flow) addStream(pi pathInfo, bytes float64) {
 	f.order = append(f.order, c)
 }
 
-// drop removes a stream from the flow's books (not from the fluid system).
+// drop removes a stream from the flow's books (not from the fluid
+// system — the caller has already finished or removed it there) and
+// credits the bytes the stream actually moved to the source host. Every
+// stream terminal — natural completion, pooled re-split, partition cut,
+// abort — lands here, so BytesSent sums to real progress, not the full
+// flow size charged up-front regardless of outcome.
 func (f *Flow) drop(c *sim.FluidConsumer) {
+	f.net.hosts[f.From].BytesSent += c.Transferred()
 	delete(f.streams, c)
 	delete(f.pathOf, c)
 	for i, s := range f.order {
@@ -293,29 +323,41 @@ func (f *Flow) partitionCut(key [2]string) {
 	f.addStream(f.pathOf[f.order[0]], stranded)
 }
 
-// fail kills the flow because a host on its path died.
+// fail kills the flow because a host on its path died or its path was
+// cut. Counted as failed, not aborted.
 func (f *Flow) fail(err error) {
 	if f.done || f.aborted {
 		return
 	}
 	f.net.cFlowFail.Inc()
 	f.span.Annotate(obs.Err(err))
-	f.Abort()
+	f.abort()
 	if f.OnFail != nil {
 		f.OnFail(f, err)
 	}
 }
 
-// Abort cancels all in-progress streams. OnDone does not fire.
+// Abort cancels all in-progress streams at the user's request. OnDone
+// and OnFail do not fire; the flow counts as aborted (so started flows
+// always reconcile as done + failed + aborted + active).
 func (f *Flow) Abort() {
 	if f.done || f.aborted {
 		return
 	}
+	f.net.cFlowAbort.Inc()
+	f.abort()
+}
+
+// abort is the shared teardown behind Abort (user cancel) and fail
+// (network kill): remove every stream from the fluid system, crediting
+// the bytes each actually moved.
+func (f *Flow) abort() {
 	f.aborted = true
 	f.span.End(obs.String("aborted", "true"))
 	delete(f.net.active, f)
 	for _, c := range f.order {
 		f.net.flows.Remove(c)
+		f.net.hosts[f.From].BytesSent += c.Transferred()
 	}
 	f.streams = map[*sim.FluidConsumer][]*sim.FluidResource{}
 	f.pathOf = map[*sim.FluidConsumer]pathInfo{}

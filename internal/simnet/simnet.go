@@ -113,7 +113,8 @@ type Network struct {
 	cSent, cRecv                         *obs.Counter
 	cDropLoss, cDropPartition, cDropDown *obs.Counter
 	cCallTimeout, cCallRefused           *obs.Counter
-	cFlowStart, cFlowDone, cFlowFail     *obs.Counter
+	cFlowStart, cFlowDone                *obs.Counter
+	cFlowFail, cFlowAbort                *obs.Counter
 	hCallRTT                             *obs.Hist
 }
 
@@ -152,6 +153,7 @@ func (n *Network) SetTracer(tr *obs.Tracer) {
 	n.cFlowStart = tr.Counter("net.flows.started")
 	n.cFlowDone = tr.Counter("net.flows.done")
 	n.cFlowFail = tr.Counter("net.flows.failed")
+	n.cFlowAbort = tr.Counter("net.flows.aborted")
 	n.hCallRTT = tr.Hist("net.call.rtt")
 }
 
@@ -207,6 +209,11 @@ func (n *Network) Host(name string) *Host { return n.hosts[name] }
 // Hosts returns the number of registered hosts.
 func (n *Network) Hosts() int { return len(n.hosts) }
 
+// ActiveFlows returns the number of flows currently in progress — the
+// balancing term in the started = done + failed + aborted + active
+// conservation identity the counters maintain.
+func (n *Network) ActiveFlows() int { return len(n.active) }
+
 // SetDown marks a host as failed (true) or recovered (false). Messages to
 // and from a down host are dropped, and in-flight flows whose path
 // touches the host are killed (their OnFail fires).
@@ -245,32 +252,60 @@ func pairKey(a, b string) [2]string {
 	return [2]string{a, b}
 }
 
-// SetLatency overrides the site-to-site propagation latency.
+// SetLatency overrides the site-to-site propagation latency. In-flight
+// streams crossing the pair have their Mathis rate cap re-derived from
+// the new RTT.
 func (n *Network) SetLatency(siteA, siteB string, d time.Duration) {
-	n.latOverride[pairKey(siteA, siteB)] = d
+	key := pairKey(siteA, siteB)
+	n.latOverride[key] = d
+	n.retune(key)
 }
 
 // SetLoss sets the packet-loss probability between two sites, overriding
-// BaseLoss for that pair. Flows already in progress keep the Mathis rate
-// limit computed at start; only the control plane and new flows see the
-// change.
+// BaseLoss for that pair. In-flight streams crossing the pair are
+// re-capped at the Mathis limit for the new loss rate — a mid-transfer
+// loss burst slows live flows, not just future ones.
 func (n *Network) SetLoss(siteA, siteB string, p float64) {
 	if p < 0 || p >= 1 {
 		panic(fmt.Sprintf("simnet: loss %v out of range [0,1)", p))
 	}
-	n.lossRate[pairKey(siteA, siteB)] = p
+	key := pairKey(siteA, siteB)
+	n.lossRate[key] = p
+	n.retune(key)
 }
 
 // ClearLoss removes a SetLoss override, restoring BaseLoss for the pair —
-// the revocation half of a loss-burst fault.
+// the revocation half of a loss-burst fault. Live streams recover their
+// pre-burst rate cap.
 func (n *Network) ClearLoss(siteA, siteB string) {
-	delete(n.lossRate, pairKey(siteA, siteB))
+	key := pairKey(siteA, siteB)
+	delete(n.lossRate, key)
+	n.retune(key)
 }
 
 // ClearLatency removes a SetLatency override, restoring the
-// coordinate-derived propagation delay.
+// coordinate-derived propagation delay and re-capping live streams.
 func (n *Network) ClearLatency(siteA, siteB string) {
-	delete(n.latOverride, pairKey(siteA, siteB))
+	key := pairKey(siteA, siteB)
+	delete(n.latOverride, key)
+	n.retune(key)
+}
+
+// retune pushes the current Mathis limit into every live stream whose
+// path crosses the given site pair, in flow-creation order for
+// determinism.
+func (n *Network) retune(key [2]string) {
+	victims := n.victims(func(f *Flow) bool {
+		for _, c := range f.order {
+			if f.pathOf[c].crosses(key) {
+				return true
+			}
+		}
+		return false
+	})
+	for _, f := range victims {
+		f.retune(key)
+	}
 }
 
 // Partition cuts (or heals, with false) connectivity between two sites.
