@@ -7,6 +7,7 @@
 //
 //	gridlab [-seed N] <table1|fig1|fig2|scale|proxylife|delegation|allocation|hetero|datagrid|oversub|chaos|all>
 //	gridlab chaos [-seed N] [-profile quiet|crashes|partitions|mixed] [-sweep N]
+//	gridlab byzantine [-seed N] [-profile P] [-sweep SEEDS] [-workers N]
 //	             [-resilience] [-lease D] [-reconcile D] [-bisect [-bisect-windows K]]
 //	gridlab trace <fig2|delegation|chaos> [-seed N] [-o FILE] [-format jsonl|chrome|timeline]
 package main
@@ -164,6 +165,23 @@ func commands() []command {
 				return fmt.Errorf("%d invariant violations", len(rep.Violations))
 			}
 			fmt.Println("\nall invariants held")
+			return nil
+		}},
+		{"byzantine", "E13: adversarial brokers vs reputation/collateral defense, 20-seed sweep", func() error {
+			cfg := faultlab.DefaultByzantineChaosConfig()
+			p, err := faultlab.ProfileByName(*profile)
+			if err != nil {
+				return err
+			}
+			seeds := *sweep
+			if seeds <= 0 {
+				seeds = 20
+			}
+			res := chaos.ByzantineSweep(*seed, seeds, p, cfg, *workers)
+			fmt.Print(res)
+			if !res.OK() {
+				return fmt.Errorf("byzantine sweep failed its acceptance gate")
+			}
 			return nil
 		}},
 		{"cdn", "E12: CoDeeN-style overlay CDN, striped multipath vs single-stream under churn", func() error {

@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"crypto/ed25519"
 	"errors"
 	"fmt"
 	"sort"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/resilience"
 	"repro/internal/sharp"
 	"repro/internal/silk"
+	"repro/internal/trust"
 	"repro/internal/vm"
 )
 
@@ -29,14 +31,36 @@ var (
 	ErrAllSitesFailed = errors.New("broker: no site deployed")
 )
 
+// SiteAuthority is the authority surface everything holding a
+// SiteRuntime relies on. *sharp.Authority is the honest implementation;
+// internal/adversary wraps it with byzantine behaviours (reneging on
+// redeem, silently shrinking leases) that still satisfy this interface,
+// so the deploy/renew/audit machinery cannot tell an adversarial site
+// apart structurally — only behaviourally, which is the point.
+type SiteAuthority interface {
+	Key() ed25519.PublicKey
+	IssueTicket(holderName string, holderKey ed25519.PublicKey, typ capability.ResourceType, amount float64, notBefore, notAfter time.Duration) (*sharp.Ticket, error)
+	Redeem(t *sharp.Ticket) (*sharp.Lease, error)
+	Renew(leaseID string, tickets ...*sharp.Ticket) (*sharp.Lease, error)
+	ReleaseLease(l *sharp.Lease)
+	LeaseRecords() []sharp.LeaseRecord
+	SetClockSkew(d time.Duration)
+	ClockSkew() time.Duration
+	SetOversellFactor(f float64)
+}
+
 // SiteRuntime bundles one PlanetLab site's local machinery: the SHARP
 // authority, its node manager, and the node the VMs land on. (One node
 // per site keeps the model at the paper's granularity of "a few nodes
 // each".)
 type SiteRuntime struct {
-	Authority *sharp.Authority
+	Authority SiteAuthority
 	NM        *capability.NodeManager
 	Node      *silk.Node
+	// Bank, when non-nil, is the site's collateral ledger: brokers must
+	// hold unslashed collateral here to be eligible on the exchange, and
+	// detected fraud against this site slashes it.
+	Bank *trust.Bank
 }
 
 // Deployer is the PlanetLab-style usage-delegation broker: it pre-pulls
@@ -57,6 +81,13 @@ type Deployer struct {
 	// is open is skipped without an attempt. All layers of one federation
 	// share the set, so they agree on a site's health.
 	Breakers *resilience.BreakerSet
+	// Exchange, when non-nil, routes deploy-path ticket purchases
+	// through a score-weighted multi-broker market (with collateral
+	// gating and fraud slashing) instead of the house agent. Renewals
+	// always stay on the house agent: a lease is renewed by whoever
+	// deployed it. Nil keeps the single-agent path byte-identical to
+	// pre-market behaviour.
+	Exchange *Exchange
 
 	// Hops counts ticket/lease protocol steps for E5 symmetry with the
 	// Matchmaker's counter.
@@ -177,6 +208,19 @@ type DeployResult struct {
 	Deployed []string
 	Failed   []SiteFailure
 	Leases   map[string][]*sharp.Lease
+	// Outcomes records one entry per exchange purchase attempt (empty on
+	// the house-agent path): which seller was tried for which site and
+	// whether its tickets actually redeemed into leases. Service
+	// managers fold these into their broker scoreboards.
+	Outcomes []SellerOutcome
+}
+
+// SellerOutcome is one market purchase attempt, as seen by the buyer.
+type SellerOutcome struct {
+	Site   string
+	Seller string
+	OK     bool
+	Err    error
 }
 
 // Degraded reports whether any requested site failed.
@@ -213,7 +257,7 @@ func (d *Deployer) DeploySlice(sliceName string, sm *identity.Principal, cpuPerS
 		Leases: make(map[string][]*sharp.Lease),
 	}
 	for _, site := range sites {
-		leases, err := d.deploySite(span, res.Slice, sliceName, sm, cpuPerSite, notBefore, notAfter, site)
+		leases, err := d.deploySite(span, res, sliceName, sm, cpuPerSite, notBefore, notAfter, site)
 		if err != nil {
 			res.Failed = append(res.Failed, SiteFailure{Site: site, Err: err})
 			continue
@@ -240,8 +284,11 @@ func (d *Deployer) DeploySlice(sliceName string, sm *identity.Principal, cpuPerS
 }
 
 // deploySite attempts one site, rolling back that site's own leases and
-// VM on failure.
-func (d *Deployer) deploySite(parent obs.SpanContext, slice *vm.Slice, sliceName string, sm *identity.Principal, cpuPerSite float64, notBefore, notAfter time.Duration, site string) ([]*sharp.Lease, error) {
+// VM on failure. With an Exchange installed it becomes a market
+// purchase with seller failover; otherwise the house agent supplies the
+// tickets.
+func (d *Deployer) deploySite(parent obs.SpanContext, res *DeployResult, sliceName string, sm *identity.Principal, cpuPerSite float64, notBefore, notAfter time.Duration, site string) ([]*sharp.Lease, error) {
+	slice := res.Slice
 	var span obs.SpanContext
 	if d.tr != nil {
 		span = d.tr.BeginUnder(parent, "broker.deploy.site", obs.String("site", site))
@@ -253,6 +300,15 @@ func (d *Deployer) deploySite(parent obs.SpanContext, slice *vm.Slice, sliceName
 		err := fmt.Errorf("broker: unknown site %q", site)
 		span.End(obs.Err(err))
 		return nil, err
+	}
+	if d.Exchange != nil {
+		leases, err := d.deploySiteMarket(span, res, rt, sliceName, sm, cpuPerSite, notBefore, notAfter, site)
+		if err != nil {
+			span.End(obs.Err(err))
+			return nil, err
+		}
+		span.End()
+		return leases, nil
 	}
 	var leases []*sharp.Lease
 	var v *vm.VM

@@ -11,6 +11,7 @@ import (
 	"repro/internal/servicemgr"
 	"repro/internal/sharp"
 	"repro/internal/silk"
+	"repro/internal/trust"
 )
 
 // Violation is one detected invariant breach.
@@ -198,6 +199,9 @@ type CheckOpts struct {
 	// TTLBound is the MDS freshness bound (0 skips the MDS check — use
 	// during mid-run audits only when refresh config is known).
 	TTLBound time.Duration
+	// Scoreboards, when non-empty, have their score bounds checked:
+	// every reputation score must stay a number in [0, 1].
+	Scoreboards []*trust.Scoreboard
 }
 
 // CheckFederation runs every applicable invariant over the federation's
@@ -208,6 +212,7 @@ func CheckFederation(f *core.Federation, opts CheckOpts) []Violation {
 		if s.Runtime != nil {
 			out = append(out, CheckLeaseTerms(s.Spec.Name, s.Runtime.Authority.LeaseRecords())...)
 			out = append(out, CheckPortExclusivity(s.Runtime.Node)...)
+			out = append(out, CheckBankConservation(s.Spec.Name, s.Runtime.Bank)...)
 		}
 		if s.Gatekeeper != nil {
 			out = append(out, CheckNoDoneDuringOutage(s.Spec.Name, s.Gatekeeper.Jobs(), f.DownLog(s.Spec.Name))...)
@@ -224,5 +229,36 @@ func CheckFederation(f *core.Federation, opts CheckOpts) []Violation {
 	for _, m := range opts.Managers {
 		out = append(out, CheckServiceStrength(m, opts.FeasibleSites)...)
 	}
+	for _, sb := range opts.Scoreboards {
+		out = append(out, CheckScoreBounds(sb)...)
+	}
 	return out
+}
+
+// CheckBankConservation asserts the collateral ledger's conservation
+// law at one site: lifetime deposits must equal held plus slashed, per
+// broker and in aggregate. A nil bank (byzantine layer off) passes.
+func CheckBankConservation(site string, b *trust.Bank) []Violation {
+	if b == nil {
+		return nil
+	}
+	if err := b.CheckConservation(); err != nil {
+		return []Violation{{
+			Invariant: "collateral-conservation",
+			Detail:    fmt.Sprintf("%s: %v", site, err),
+		}}
+	}
+	return nil
+}
+
+// CheckScoreBounds asserts every reputation score is a number in [0, 1]
+// — the EWMA can never leave the unit interval however outcomes arrive.
+func CheckScoreBounds(s *trust.Scoreboard) []Violation {
+	if err := s.CheckBounds(); err != nil {
+		return []Violation{{
+			Invariant: "score-bounds",
+			Detail:    err.Error(),
+		}}
+	}
+	return nil
 }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/servicemgr"
 	"repro/internal/sim"
+	"repro/internal/trust"
 )
 
 // ChaosConfig shapes the chaos scenario: a hybrid federation running a
@@ -50,6 +51,12 @@ type ChaosConfig struct {
 	// (core.Config.Resilience) and routes the job stream through the
 	// retrying submit path.
 	Resilience bool
+	// Byzantine, when enabled, populates a multi-broker ticket exchange
+	// with honest and adversarial sellers, posts collateral at per-site
+	// banks, feeds a reputation scoreboard from redeem outcomes, and runs
+	// a client-side attack ticker. Zero value keeps the run byte-identical
+	// to a pre-byzantine scenario.
+	Byzantine ByzantineConfig
 }
 
 // DefaultChaosConfig returns the scenario gridlab chaos runs.
@@ -101,6 +108,9 @@ type Report struct {
 	// Flags holds the non-default chaos flags needed to reproduce the
 	// run's configuration ("" for the default scenario).
 	Flags string
+	// Byzantine carries the adversarial-market outcome when
+	// ChaosConfig.Byzantine was enabled (nil otherwise).
+	Byzantine *ByzantineStats
 }
 
 // ResilienceStats snapshots the resilience kit's counters after a run.
@@ -122,7 +132,11 @@ func (r *Report) OK() bool { return len(r.Violations) == 0 }
 
 // Repro returns the command line that reproduces this exact run.
 func (r *Report) Repro() string {
-	s := fmt.Sprintf("gridlab chaos -seed %d -profile %s", r.Seed, r.Profile)
+	cmd := "chaos"
+	if r.Byzantine != nil {
+		cmd = "byzantine"
+	}
+	s := fmt.Sprintf("gridlab %s -seed %d -profile %s", cmd, r.Seed, r.Profile)
 	if r.Flags != "" {
 		s += " " + r.Flags
 	}
@@ -190,6 +204,11 @@ type chaosRun struct {
 
 	jobTicker, reconcileTicker, auditTicker *sim.Ticker
 	inj                                     *Injector
+
+	// byz holds the byzantine market layer when ChaosConfig.Byzantine is
+	// enabled (nil otherwise). Reachable from the snapshot root, so the
+	// scoreboard, banks, and seller state rewind on fork with the rest.
+	byz *byzRun
 }
 
 // newChaosRun builds the federation and starts the steady-state machinery
@@ -224,11 +243,14 @@ func newChaosRun(seed int64, cfg ChaosConfig) *chaosRun {
 	// Ticket stock for the service manager, valid past the audit.
 	for _, s := range f.JoinedSites() {
 		if s.Runtime != nil {
-			s.Runtime.Authority.OversellFactor = 1e6
+			s.Runtime.Authority.SetOversellFactor(1e6)
 		}
 	}
 	if err := f.Deployer.Stock(200, 0, c.end+time.Hour, names...); err != nil {
 		panic(fmt.Sprintf("faultlab: stocking deployer: %v", err))
+	}
+	if cfg.Byzantine.Enabled() {
+		c.byz = newByzRun(f, cfg.Byzantine, c.end+time.Hour)
 	}
 	lease := cfg.Lease
 	if lease == 0 {
@@ -247,6 +269,9 @@ func newChaosRun(seed int64, cfg ChaosConfig) *chaosRun {
 	}
 	if f.Resilience != nil {
 		c.mgr.SetResilience(f.Resilience)
+	}
+	if c.byz != nil {
+		c.mgr.SetTrust(c.byz.scores)
 	}
 	if err := c.mgr.Start(); err != nil {
 		panic(fmt.Sprintf("faultlab: starting service: %v", err))
@@ -285,6 +310,9 @@ func newChaosRun(seed int64, cfg ChaosConfig) *chaosRun {
 				}
 			}
 		})
+	}
+	if c.byz != nil {
+		c.byz.arm(c)
 	}
 	return c
 }
@@ -328,6 +356,15 @@ func (c *chaosRun) record(vs []Violation) {
 	}
 }
 
+// scoreboards returns the reputation scoreboards to bound-check during
+// audits (none when the byzantine layer is off).
+func (c *chaosRun) scoreboards() []*trust.Scoreboard {
+	if c.byz == nil {
+		return nil
+	}
+	return []*trust.Scoreboard{c.byz.scores}
+}
+
 // arm installs the fault schedule (nil for a baseline run) and starts the
 // mid-run invariant audits. Event creation order — job ticker, reconcile
 // ticker, injector windows, audit ticker — matches the historical inline
@@ -343,6 +380,7 @@ func (c *chaosRun) arm(sched *Schedule) {
 		c.record(CheckFederation(c.f, CheckOpts{
 			TTLBound:      c.ttlBound,
 			LeaseManagers: []*servicemgr.Manager{c.mgr},
+			Scoreboards:   c.scoreboards(),
 		}))
 	})
 	if armHook != nil {
@@ -371,6 +409,14 @@ func (c *chaosRun) finish() *Report {
 	if c.reconcileTicker != nil {
 		c.reconcileTicker.Stop()
 	}
+	if c.byz != nil {
+		if c.byz.attackTicker != nil {
+			c.byz.attackTicker.Stop()
+		}
+		if c.byz.shopTicker != nil {
+			c.byz.shopTicker.Stop()
+		}
+	}
 
 	feasible := 0
 	for _, name := range c.names {
@@ -383,6 +429,7 @@ func (c *chaosRun) finish() *Report {
 		LeaseManagers: []*servicemgr.Manager{c.mgr},
 		FeasibleSites: feasible,
 		TTLBound:      c.ttlBound,
+		Scoreboards:   c.scoreboards(),
 	}))
 
 	var done, failed int
@@ -440,6 +487,12 @@ func (c *chaosRun) finish() *Report {
 	tbl.AddRow("faults applied", applied)
 	tbl.AddRow("faults revoked", revoked)
 	tbl.AddRow("violations", len(c.violations))
+	// Byzantine rows are appended after the fixed block, so a run with
+	// the layer off renders the exact historical summary.
+	var byzStats *ByzantineStats
+	if c.byz != nil {
+		byzStats = c.byz.stats(c, tbl)
+	}
 
 	f.Tracer.SampleGauges()
 	rep := &Report{
@@ -463,6 +516,7 @@ func (c *chaosRun) finish() *Report {
 			OpenSites: f.Resilience.Breakers.NotClosed(),
 		}
 	}
+	rep.Byzantine = byzStats
 	if sched != nil {
 		rep.Profile = sched.Profile
 	}

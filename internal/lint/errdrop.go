@@ -14,7 +14,7 @@ import (
 // whose failure changes resource-accounting state.
 var ErrdropAnalyzer = &Analyzer{
 	Name: "errdrop",
-	Doc:  "flag discarded errors from domain-critical calls (Redeem, Claim, AcquirePort, Submit, Renew, Cancel, Deploy, ...)",
+	Doc:  "flag discarded errors from domain-critical calls (Redeem, Claim, Submit, Renew, Deploy, Slash, ReportOutcome, ...)",
 	Run:  runErrdrop,
 }
 
@@ -39,6 +39,12 @@ var errdropTargets = map[string]bool{
 	"RenewLease": true,
 	"Cancel":     true,
 	"Do":         true,
+	// Byzantine-era trust accounting: a Deposit or Slash whose error
+	// vanishes is collateral that silently stopped conserving, and a
+	// dropped ReportOutcome is a fraud the scoreboard never learns about.
+	"Deposit":       true,
+	"Slash":         true,
+	"ReportOutcome": true,
 }
 
 func runErrdrop(pass *Pass) {

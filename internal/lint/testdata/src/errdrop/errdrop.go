@@ -30,6 +30,38 @@ func BadFunc() {
 	DeploySlice("cdn") // want "error returned by DeploySlice is dropped"
 }
 
+// bank mirrors trust.Bank and trust.Scoreboard: the byzantine-era
+// collateral and reputation calls whose dropped errors break the
+// conservation audit.
+type bank struct{}
+
+func (bank) Deposit(broker string, amount float64) error { return nil }
+func (bank) Slash(broker string, amount float64, reason string) (float64, error) {
+	return 0, errors.New("unknown broker")
+}
+func (bank) ReportOutcome(broker string, ok bool) error { return nil }
+
+func BadTrust(b bank) {
+	b.Deposit("byz-00", 10)                 // want "error returned by Deposit is dropped"
+	b.Slash("byz-00", 1, "double-sell")     // want "error returned by Slash is dropped"
+	seized, _ := b.Slash("byz-00", 1, "ds") // want "error from Slash discarded via blank identifier"
+	_ = seized
+	b.ReportOutcome("honest-00", true)    // want "error returned by ReportOutcome is dropped"
+	go b.ReportOutcome("honest-01", true) // want "error returned by ReportOutcome is dropped"
+}
+
+func GoodTrust(b bank) error {
+	if err := b.Deposit("honest-00", 10); err != nil {
+		return err
+	}
+	seized, err := b.Slash("byz-00", 1, "double-sell")
+	_ = seized
+	if err != nil {
+		return err
+	}
+	return b.ReportOutcome("honest-00", true)
+}
+
 func Good(a authority) error {
 	if err := a.Submit("j"); err != nil {
 		return err

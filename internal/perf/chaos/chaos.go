@@ -66,3 +66,23 @@ func Sweep(startSeed int64, seeds int, profiles []faultlab.Profile, cfg faultlab
 	}
 	return res
 }
+
+// ByzantineSweep is the parallel counterpart of
+// faultlab.ByzantineSweep: one profile over a seed range, one seed per
+// worker task, reduced through ByzantineSweepResult.Add in seed order —
+// so the evidence table is byte-identical to the sequential sweep at
+// any worker count.
+func ByzantineSweep(startSeed int64, seeds int, p faultlab.Profile, cfg faultlab.ChaosConfig, workers int) *faultlab.ByzantineSweepResult {
+	if seeds <= 0 {
+		return faultlab.NewByzantineSweepResult()
+	}
+	reps := make([]*faultlab.Report, seeds)
+	perf.ForEach(seeds, workers, func(i int) {
+		reps[i] = faultlab.RunChaos(startSeed+int64(i), p, cfg)
+	})
+	res := faultlab.NewByzantineSweepResult()
+	for _, rep := range reps {
+		res.Add(rep)
+	}
+	return res
+}

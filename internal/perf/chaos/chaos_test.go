@@ -3,6 +3,7 @@ package chaos
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"testing"
 	"time"
 
@@ -146,5 +147,79 @@ func TestEmptyGrid(t *testing.T) {
 	}
 	if res := Sweep(0, 0, faultlab.Profiles(), cfg, 4); res.Runs != 0 {
 		t.Fatalf("Sweep with 0 seeds ran %d cells", res.Runs)
+	}
+}
+
+// byzTestConfig is the shrunken byzantine scenario for the
+// worker-determinism gates: the small chaos grid plus a 2-vs-1 broker
+// market with the full defense stack on.
+func byzTestConfig() faultlab.ChaosConfig {
+	cfg := testConfig()
+	cfg.Resilience = true
+	cfg.Lease = 30 * time.Minute
+	cfg.ReconcileEvery = 10 * time.Minute
+	cfg.Horizon = 3 * time.Hour
+	byz := faultlab.DefaultByzantineConfig()
+	byz.HonestBrokers = 2
+	byz.ByzantineBrokers = 1
+	byz.StockPerSite = 50
+	byz.Deposit = 5
+	byz.AttackEvery = 20 * time.Minute
+	cfg.Byzantine = byz
+	return cfg
+}
+
+// TestByzantineSweepWorkerByteIdentical is satellite coverage for the
+// byzantine evidence pipeline: the rendered sweep — per-seed shares,
+// slash totals, attack tallies — must be byte-identical at workers=1 and
+// workers=8, and both must match the sequential faultlab reducer.
+func TestByzantineSweepWorkerByteIdentical(t *testing.T) {
+	cfg := byzTestConfig()
+	p := faultlab.Profiles()[2]
+	w1 := ByzantineSweep(1, 3, p, cfg, 1)
+	w8 := ByzantineSweep(1, 3, p, cfg, 8)
+	if w1.String() != w8.String() {
+		t.Fatalf("workers=8 sweep differs from workers=1:\n--- w1 ---\n%s\n--- w8 ---\n%s", w1, w8)
+	}
+	seq := faultlab.ByzantineSweep(1, 3, p, cfg)
+	if seq.String() != w1.String() {
+		t.Fatalf("parallel sweep differs from sequential:\n--- seq ---\n%s\n--- par ---\n%s", seq, w1)
+	}
+}
+
+// TestByzantineReportsWorkerByteIdentical drills below the aggregate:
+// every per-run byzantine section — scoreboard snapshot, collateral
+// held/slashed, replay and forgery counters — plus the summary rows
+// derived from it must be byte-identical across worker counts.
+func TestByzantineReportsWorkerByteIdentical(t *testing.T) {
+	cfg := byzTestConfig()
+	profiles := []faultlab.Profile{faultlab.Profiles()[2]}
+	drain := func(workers int) [][]byte {
+		out := make([][]byte, 3)
+		ForEachReport(1, 3, profiles, cfg, workers, func(i int, rep *faultlab.Report) {
+			var b bytes.Buffer
+			b.WriteString(rep.Summary)
+			if rep.Byzantine != nil {
+				fmt.Fprintf(&b, "byzantine=%+v\n", *rep.Byzantine)
+			}
+			out[i] = b.Bytes()
+		})
+		return out
+	}
+	seq, par := drain(1), drain(8)
+	for i := range seq {
+		if rep := seq[i]; len(rep) == 0 {
+			t.Fatalf("cell %d: empty serialization", i)
+		}
+		if !bytes.Equal(seq[i], par[i]) {
+			t.Fatalf("cell %d: byzantine sections differ:\n--- w1 ---\n%s\n--- w8 ---\n%s", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestByzantineSweepEmptyGrid(t *testing.T) {
+	cfg := byzTestConfig()
+	if res := ByzantineSweep(0, 0, faultlab.Profiles()[2], cfg, 4); res.Runs != 0 {
+		t.Fatalf("ByzantineSweep with 0 seeds ran %d cells", res.Runs)
 	}
 }

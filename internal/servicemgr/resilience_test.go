@@ -53,7 +53,7 @@ func TestKeepaliveRenewalPreventsLapse(t *testing.T) {
 	// Renewals re-sell and eventually restock; give the authorities soft
 	// headroom (issued claims are never un-issued).
 	for _, s := range f.dep.Sites {
-		s.Authority.OversellFactor = 100
+		s.Authority.SetOversellFactor(100)
 	}
 	kit := resilience.NewKit(f.eng, f.eng.ForkRand(), nil)
 	m := New(f.eng, f.dep, f.sm, shortCfg())
@@ -114,7 +114,7 @@ func TestBackgroundRetryRecoversDeploy(t *testing.T) {
 	// spare; the background retry picks the site up once stock arrives.
 	f := newFixture(t)
 	for _, s := range f.dep.Sites {
-		s.Authority.OversellFactor = 100 // the test re-stocks s3 later
+		s.Authority.SetOversellFactor(100) // the test re-stocks s3 later
 	}
 	kit := resilience.NewKit(f.eng, f.eng.ForkRand(), nil)
 	c := cfg()

@@ -27,6 +27,7 @@ import (
 	"repro/internal/resilience"
 	"repro/internal/sharp"
 	"repro/internal/sim"
+	"repro/internal/trust"
 	"repro/internal/vm"
 )
 
@@ -67,6 +68,13 @@ type Manager struct {
 	watchdog map[string]sim.Event
 	retrying map[string]bool // a background deploy retry is in flight
 
+	// trust, when set, receives every exchange purchase outcome so the
+	// manager's broker scores converge on actual redeem success.
+	trust *trust.Scoreboard
+	// TrustReportErrs counts scoreboard reports that were refused
+	// (malformed seller names — should stay zero).
+	TrustReportErrs int
+
 	// RedeployN counts failure-driven redeployments; LeaseLapsedN counts
 	// PoPs torn down because their lease expired under them; DegradedTime
 	// accumulates time spent below Target strength.
@@ -97,6 +105,27 @@ func (m *Manager) SetTracer(tr *obs.Tracer) {
 // keepalive, deploy retry, and breaker-gated failover. Call before
 // Start.
 func (m *Manager) SetResilience(kit *resilience.Kit) { m.kit = kit }
+
+// SetTrust installs the broker scoreboard the manager reports exchange
+// purchase outcomes to. The deployer's Exchange reads the same
+// scoreboard when weighting sellers, closing the reputation loop:
+// service managers keep the scores, the market consults them. Call
+// before Start.
+func (m *Manager) SetTrust(sb *trust.Scoreboard) { m.trust = sb }
+
+// reportOutcomes folds one deployment's market outcomes into the
+// scoreboard (no-op without SetTrust or on the house-agent path, where
+// there are no outcomes).
+func (m *Manager) reportOutcomes(res *broker.DeployResult) {
+	if m.trust == nil || res == nil {
+		return
+	}
+	for _, o := range res.Outcomes {
+		if err := m.trust.ReportOutcome(o.Seller, o.OK); err != nil {
+			m.TrustReportErrs++
+		}
+	}
+}
 
 // New builds a manager over an (already stocked) deployer.
 func New(eng *sim.Engine, dep *broker.Deployer, sm *identity.Principal, cfg Config) *Manager {
@@ -161,6 +190,7 @@ func (m *Manager) deployOnce(site string) bool {
 	res, err := m.dep.DeploySlice(
 		fmt.Sprintf("%s@%s", m.cfg.Name, site), m.sm,
 		m.cfg.CPUPerSite, now, now+m.cfg.Lease, []string{site})
+	m.reportOutcomes(res)
 	if err != nil {
 		return false
 	}

@@ -38,14 +38,19 @@ var (
 	ErrExpired       = errors.New("sharp: ticket not current")
 	ErrConflict      = errors.New("sharp: redeem conflict (oversubscribed)")
 	ErrDoubleSpend   = errors.New("sharp: ticket already redeemed")
-	ErrOverIssue     = errors.New("sharp: issue would exceed oversell bound")
-	ErrNotHolder     = errors.New("sharp: delegator is not the ticket holder")
-	ErrInventory     = errors.New("sharp: agent inventory insufficient")
-	ErrWrongSite     = errors.New("sharp: ticket names a different site")
-	ErrUnknownLease  = errors.New("sharp: unknown or released lease")
-	ErrRenewAmount   = errors.New("sharp: renewal tickets cover less than the lease amount")
-	ErrRenewGap      = errors.New("sharp: renewal ticket starts after the lease ends")
-	ErrNotExtended   = errors.New("sharp: renewal does not extend the lease")
+	// ErrReplayed is the typed rejection for presenting an
+	// already-redeemed leaf claim again (the client replay attack).
+	// Errors carrying it also carry ErrDoubleSpend, so callers checking
+	// either sentinel agree.
+	ErrReplayed     = errors.New("sharp: redeemed ticket replayed")
+	ErrOverIssue    = errors.New("sharp: issue would exceed oversell bound")
+	ErrNotHolder    = errors.New("sharp: delegator is not the ticket holder")
+	ErrInventory    = errors.New("sharp: agent inventory insufficient")
+	ErrWrongSite    = errors.New("sharp: ticket names a different site")
+	ErrUnknownLease = errors.New("sharp: unknown or released lease")
+	ErrRenewAmount  = errors.New("sharp: renewal tickets cover less than the lease amount")
+	ErrRenewGap     = errors.New("sharp: renewal ticket starts after the lease ends")
+	ErrNotExtended  = errors.New("sharp: renewal does not extend the lease")
 )
 
 // RedeemGrace is the near-expiry guard on redeem and renew: a ticket
@@ -57,6 +62,66 @@ var (
 // minimum propagation delay, so no remote caller can observe the
 // difference.
 const RedeemGrace = time.Millisecond
+
+// Replay-cache sizing: the per-authority redeemed-leaf cache holds at
+// most replayCap entries before each insert prunes entries whose leaf
+// expired more than replaySlack ago. The slack keeps an entry alive
+// across any plausible clock-skew window — a pruned entry's ticket must
+// be so stale that Verify rejects it as ErrExpired under every skew the
+// fault injector models, so pruning can never re-admit a replay.
+const (
+	defaultReplayCap = 4096
+	replaySlack      = 72 * time.Hour
+)
+
+// replayCache is the authority's redeemed-serial memory: leaf claim
+// hash -> leaf NotAfter. Bounded: once len reaches its cap, inserting
+// prunes safely-expired entries (see replaySlack). Entries for live
+// tickets are never evicted, so a double redeem is rejected
+// deterministically for as long as the ticket itself could still
+// verify.
+type replayCache struct {
+	cap     int
+	entries map[[32]byte]time.Duration
+	// PrunedN counts evicted entries (observability for soak tests).
+	PrunedN int
+}
+
+func newReplayCache(capN int) *replayCache {
+	if capN <= 0 {
+		capN = defaultReplayCap
+	}
+	return &replayCache{cap: capN, entries: make(map[[32]byte]time.Duration)}
+}
+
+// seen reports whether a leaf hash was already redeemed.
+func (rc *replayCache) seen(h [32]byte) bool {
+	_, ok := rc.entries[h]
+	return ok
+}
+
+// add marks a leaf hash redeemed, pruning first when at capacity.
+func (rc *replayCache) add(h [32]byte, notAfter, now time.Duration) {
+	if len(rc.entries) >= rc.cap {
+		rc.prune(now)
+	}
+	rc.entries[h] = notAfter
+}
+
+// prune drops entries whose leaf expired more than replaySlack before
+// now. Map iteration order is irrelevant: the delete condition is
+// per-entry and the count is a plain sum.
+func (rc *replayCache) prune(now time.Duration) int {
+	n := 0
+	for h, notAfter := range rc.entries {
+		if notAfter+replaySlack <= now {
+			delete(rc.entries, h)
+			n++
+		}
+	}
+	rc.PrunedN += n
+	return n
+}
 
 // Claim is one signed delegation step.
 type Claim struct {
@@ -239,7 +304,7 @@ type Authority struct {
 	nm       *capability.NodeManager
 	capacity map[capability.ResourceType]float64
 	issued   map[capability.ResourceType]float64
-	redeemed map[[32]byte]bool
+	replay   *replayCache
 	serial   uint64
 	leaseSeq int
 	skew     time.Duration
@@ -247,9 +312,12 @@ type Authority struct {
 	recordOf map[string]*LeaseRecord // lease ID -> record
 
 	// IssuedN, RedeemOK, RedeemConflict count outcomes for E9;
-	// RenewOK/RenewRej count lease renewals.
+	// RenewOK/RenewRej count lease renewals. ReplayRejN counts redeems
+	// and renewals rejected by the replay cache — the byzantine sweeps'
+	// double-spend evidence.
 	IssuedN, RedeemOK, RedeemConflict int
 	RenewOK, RenewRej                 int
+	ReplayRejN                        int
 
 	// Observability handles (inert when no tracer is installed).
 	tr                                     *obs.Tracer
@@ -291,7 +359,7 @@ func NewAuthority(eng *sim.Engine, site string, signer *identity.Principal, nm *
 		nm:             nm,
 		capacity:       capCopy,
 		issued:         make(map[capability.ResourceType]float64),
-		redeemed:       make(map[[32]byte]bool),
+		replay:         newReplayCache(defaultReplayCap),
 		recordOf:       make(map[string]*LeaseRecord),
 	}
 }
@@ -320,6 +388,15 @@ func (a *Authority) SetClockSkew(d time.Duration) { a.skew = d }
 
 // ClockSkew returns the current verification-clock drift.
 func (a *Authority) ClockSkew() time.Duration { return a.skew }
+
+// SetOversellFactor adjusts the soft-claim issue budget. Exists so
+// callers holding the authority behind the broker.SiteAuthority
+// interface (which byzantine wrappers also satisfy) can tune it.
+func (a *Authority) SetOversellFactor(f float64) { a.OversellFactor = f }
+
+// ReplayCacheLen reports how many redeemed leaf hashes the authority
+// currently remembers (bounded; see replayCache).
+func (a *Authority) ReplayCacheLen() int { return len(a.replay.entries) }
 
 // LeaseRecords returns a copy of the lease audit log, in grant order.
 func (a *Authority) LeaseRecords() []LeaseRecord {
@@ -408,10 +485,12 @@ func (a *Authority) Redeem(t *Ticket) (*Lease, error) {
 		return nil, err
 	}
 	h := leaf.Hash()
-	if a.redeemed[h] {
+	if a.replay.seen(h) {
+		a.ReplayRejN++
 		a.cRedeemRej.Inc()
-		span.End(obs.Err(ErrDoubleSpend))
-		return nil, ErrDoubleSpend
+		err := fmt.Errorf("%w (%w): leaf serial %d", ErrReplayed, ErrDoubleSpend, leaf.Serial)
+		span.End(obs.Err(err))
+		return nil, err
 	}
 	cap_, err := a.nm.Mint(capability.MintRequest{
 		Type:      leaf.Type,
@@ -427,7 +506,7 @@ func (a *Authority) Redeem(t *Ticket) (*Lease, error) {
 		span.End(obs.Err(err))
 		return nil, err
 	}
-	a.redeemed[h] = true
+	a.replay.add(h, leaf.NotAfter, a.eng.Now())
 	a.leaseSeq++
 	a.RedeemOK++
 	lease := &Lease{
@@ -519,8 +598,9 @@ func (a *Authority) Renew(leaseID string, tickets ...*Ticket) (*Lease, error) {
 		if leaf.NotBefore > lease.NotAfter {
 			return fail(fmt.Errorf("%w: ticket starts %v, lease ends %v", ErrRenewGap, leaf.NotBefore, lease.NotAfter))
 		}
-		if a.redeemed[leaf.Hash()] {
-			return fail(ErrDoubleSpend)
+		if a.replay.seen(leaf.Hash()) {
+			a.ReplayRejN++
+			return fail(fmt.Errorf("%w (%w): leaf serial %d", ErrReplayed, ErrDoubleSpend, leaf.Serial))
 		}
 		total += leaf.Amount
 		if leaf.NotAfter < target {
@@ -540,7 +620,7 @@ func (a *Authority) Renew(leaseID string, tickets ...*Ticket) (*Lease, error) {
 		return fail(err)
 	}
 	for _, t := range tickets {
-		a.redeemed[t.Leaf().Hash()] = true
+		a.replay.add(t.Leaf().Hash(), t.Leaf().NotAfter, a.eng.Now())
 	}
 	lease.NotAfter = target
 	if target > rec.LeafNotAfter {
@@ -584,6 +664,10 @@ func NewAgent(signer *identity.Principal) *Agent {
 
 // Key returns the agent's public key (authorities issue tickets to it).
 func (ag *Agent) Key() ed25519.PublicKey { return ag.signer.Public() }
+
+// SellerName identifies the agent on a ticket exchange (it is the
+// honest implementation of broker.Seller).
+func (ag *Agent) SellerName() string { return ag.Name }
 
 // Acquire stores a ticket issued to this agent (Figure 2 steps 1-2).
 func (ag *Agent) Acquire(t *Ticket) error {
