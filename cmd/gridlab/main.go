@@ -42,6 +42,11 @@ var (
 	benchJSON  = flag.Bool("json", false, "bench: emit JSON instead of the aligned text report")
 	benchBase  = flag.String("baseline", "", "bench: baseline JSON file to compare against (fail on regression)")
 	benchRatio = flag.Float64("maxratio", 2.0, "bench: allowed ns/op ratio vs baseline before failing")
+
+	scaleSites   = flag.Int("sites", 1000, "scale: federation site count")
+	scaleNodes   = flag.Int("nodes", 100000, "scale: total sensor nodes across the federation")
+	scaleLeases  = flag.Int("leases", 1000000, "scale: total concurrent-lease target across the federation")
+	scaleRegions = flag.Int("regions", 16, "scale: MDS shard / parallel-cell count")
 )
 
 // benchOut aliases -o for the bench subcommand (shared with trace).
@@ -70,10 +75,11 @@ func commands() []command {
 		{"fig2", "Figure 2: SHARP ticket -> lease -> VM protocol trace", func() error {
 			return core.RenderFigure2(os.Stdout, *seed)
 		}},
-		{"scale", "E3: federation scale sweep (paper: GT 20-50 sites, PlanetLab 155 -> ~1000)", func() error {
+		{"e3", "E3: federation scale sweep (paper: GT 20-50 sites, PlanetLab 155 -> ~1000)", func() error {
 			core.RunScaleParallel(*seed, []int{10, 50, 100, 200, 500, 1000}, *workers).Render(os.Stdout)
 			return nil
 		}},
+		{"scale", "E14: planetary federation (sharded MDS + batched SHARP + compact leases)", runScale},
 		{"proxylife", "E4: proxy-certificate lifetime tradeoff", func() error {
 			core.RunProxyLifetimeParallel(*seed, []time.Duration{
 				time.Hour, 2 * time.Hour, 4 * time.Hour, 8 * time.Hour,
@@ -240,8 +246,8 @@ func main() {
 	cmds := commands()
 	if name == "all" {
 		for _, c := range cmds {
-			if c.name == "trace" || c.name == "bench" {
-				continue // machine-readable exports / measurements, not reports
+			if c.name == "trace" || c.name == "bench" || c.name == "scale" {
+				continue // machine-readable exports / heavyweight measurements
 			}
 			fmt.Printf("==== %s: %s ====\n", c.name, c.desc)
 			if err := c.run(); err != nil {

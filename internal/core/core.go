@@ -337,14 +337,12 @@ func Build(stack Stack, cfg Config, specs []SiteSpec) *Federation {
 			site.GRIS = mds.NewGRIS(eng, net, site.Host)
 			host, slotsStr := site.Host, fmt.Sprint(slots)
 			reservable := fmt.Sprint(spec.Policy.HonourReservations)
-			site.GRIS.AddProvider(site.Host+"/cluster", func() map[string]string {
-				return map[string]string{
-					"gatekeeper": host,
-					"os":         "linux",
-					"cpus":       slotsStr,
-					"reservable": reservable,
-					"jobmanager": "batch",
-				}
+			site.GRIS.AddProviderInto(site.Host+"/cluster", func(attrs map[string]string) {
+				attrs["gatekeeper"] = host
+				attrs["os"] = "linux"
+				attrs["cpus"] = slotsStr
+				attrs["reservable"] = reservable
+				attrs["jobmanager"] = "batch"
 			})
 			site.GRIS.StartPush("vo-index", cfg.RefreshInterval)
 			pushers = append(pushers, site.GRIS)
@@ -378,13 +376,11 @@ func Build(stack Stack, cfg Config, specs []SiteSpec) *Federation {
 			siteName := spec.Name
 			for ni := 0; ni < nodes; ni++ {
 				nodeName := fmt.Sprintf("%s/n%d", siteName, ni)
-				sensors.AddProvider(nodeName+"/sensor", func() map[string]string {
-					return map[string]string{
-						"site":   siteName,
-						"node":   nodeName,
-						"slices": fmt.Sprint(node.Contexts()),
-						"ports":  fmt.Sprint(node.PortsInUse()),
-					}
+				sensors.AddProviderInto(nodeName+"/sensor", func(attrs map[string]string) {
+					attrs["site"] = siteName
+					attrs["node"] = nodeName
+					attrs["slices"] = fmt.Sprint(node.Contexts())
+					attrs["ports"] = fmt.Sprint(node.PortsInUse())
 				})
 			}
 			sensors.StartPush("vo-comon", cfg.RefreshInterval)

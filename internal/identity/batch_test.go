@@ -1,0 +1,152 @@
+package identity
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSigCacheMemoizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := NewPrincipal("p", rng)
+	msg := []byte("hello")
+	sig := p.Sign(msg)
+
+	c := NewSigCache(16)
+	if !c.Verify(p.Public(), msg, sig) {
+		t.Fatal("valid signature rejected")
+	}
+	if c.Len() != 1 || c.Misses != 1 || c.Hits != 0 {
+		t.Fatalf("after first verify: len=%d hits=%d misses=%d", c.Len(), c.Hits, c.Misses)
+	}
+	if !c.Verify(p.Public(), msg, sig) {
+		t.Fatal("memoized signature rejected")
+	}
+	if c.Hits != 1 {
+		t.Fatalf("second verify should hit, hits=%d", c.Hits)
+	}
+}
+
+func TestSigCacheNeverCachesFailure(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := NewPrincipal("p", rng)
+	other := NewPrincipal("other", rng)
+	msg := []byte("msg")
+	forged := other.Sign(msg) // valid for other, forged for p
+
+	c := NewSigCache(16)
+	for i := 0; i < 3; i++ {
+		if c.Verify(p.Public(), msg, forged) {
+			t.Fatal("forged signature accepted")
+		}
+	}
+	if c.Len() != 0 {
+		t.Fatalf("failure was cached: len=%d", c.Len())
+	}
+	// Tampering with a cached-good message must miss the cache and fail.
+	good := p.Sign(msg)
+	if !c.Verify(p.Public(), msg, good) {
+		t.Fatal("good signature rejected")
+	}
+	tampered := append([]byte(nil), msg...)
+	tampered[0] ^= 1
+	if c.Verify(p.Public(), tampered, good) {
+		t.Fatal("tampered message accepted via cache")
+	}
+}
+
+func TestSigCacheBoundedEviction(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := NewPrincipal("p", rng)
+	c := NewSigCache(4)
+	for i := 0; i < 10; i++ {
+		msg := []byte{byte(i)}
+		if !c.Verify(p.Public(), msg, p.Sign(msg)) {
+			t.Fatalf("verify %d failed", i)
+		}
+		if c.Len() > 4 {
+			t.Fatalf("cache exceeded cap: %d", c.Len())
+		}
+	}
+	if c.Evictions == 0 {
+		t.Fatal("expected at least one generation eviction")
+	}
+}
+
+func TestBatchDedupAndVerdicts(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := NewPrincipal("p", rng)
+	shared := []byte("shared-prefix")
+	sharedSig := p.Sign(shared)
+
+	b := NewBatch(nil)
+	var idx []int
+	// 8 repeats of the shared triple + 8 distinct leaves + 1 forgery.
+	for i := 0; i < 8; i++ {
+		idx = append(idx, b.Add(p.Public(), shared, sharedSig))
+	}
+	leaves := make([][]byte, 8)
+	for i := range leaves {
+		leaves[i] = []byte{byte(i), 0xee}
+		idx = append(idx, b.Add(p.Public(), leaves[i], p.Sign(leaves[i])))
+	}
+	bad := b.Add(p.Public(), []byte("forged"), sharedSig)
+
+	if b.Len() != 17 || b.Distinct() != 10 {
+		t.Fatalf("len=%d distinct=%d, want 17/10", b.Len(), b.Distinct())
+	}
+	res := b.Run()
+	if b.VerifiedN != 10 {
+		t.Fatalf("VerifiedN=%d, want 10 (one per distinct)", b.VerifiedN)
+	}
+	for _, i := range idx {
+		if !res[i] {
+			t.Fatalf("item %d should verify", i)
+		}
+	}
+	if res[bad] {
+		t.Fatal("forged item verified")
+	}
+}
+
+func TestBatchFeedsAndReadsCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := NewPrincipal("p", rng)
+	c := NewSigCache(64)
+	msg := []byte("root")
+	sig := p.Sign(msg)
+
+	b := NewBatch(c)
+	b.Add(p.Public(), msg, sig)
+	b.Run()
+	if b.VerifiedN != 1 || c.Len() != 1 {
+		t.Fatalf("first run: verified=%d cached=%d", b.VerifiedN, c.Len())
+	}
+
+	b2 := NewBatch(c)
+	b2.Add(p.Public(), msg, sig)
+	res := b2.Run()
+	if b2.VerifiedN != 0 {
+		t.Fatalf("second batch re-verified a cached triple: %d", b2.VerifiedN)
+	}
+	if !res[0] {
+		t.Fatal("cached triple rejected")
+	}
+}
+
+func TestBatchReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	p := NewPrincipal("p", rng)
+	b := NewBatch(nil)
+	m := []byte("x")
+	b.Add(p.Public(), m, p.Sign(m))
+	b.Run()
+	b.Reset()
+	if b.Len() != 0 || b.Distinct() != 0 {
+		t.Fatalf("reset left items: len=%d distinct=%d", b.Len(), b.Distinct())
+	}
+	m2 := []byte("y")
+	i := b.Add(p.Public(), m2, p.Sign(m2))
+	if res := b.Run(); !res[i] {
+		t.Fatal("post-reset verify failed")
+	}
+}

@@ -62,6 +62,40 @@ func GoodTrust(b bank) error {
 	return b.ReportOutcome("honest-00", true)
 }
 
+// index mirrors mds.RegionIndex / mds.RootIndex, and ticket mirrors
+// sharp.Ticket: the scale-era hot paths whose dropped errors hide a
+// lost registration, an empty federation, or an unverified chain.
+type index struct{}
+
+func (index) RegisterRecord(reg string) error { return nil }
+func (index) QueryShards(q string) (string, error) {
+	return "", errors.New("no regions attached")
+}
+
+type ticket struct{}
+
+func (ticket) VerifyCached(key, cache string) error { return errors.New("bad chain") }
+
+func BadScale(ix index, tk ticket) {
+	ix.RegisterRecord("node-1")          // want "error returned by RegisterRecord is dropped"
+	reply, _ := ix.QueryShards("os=lin") // want "error from QueryShards discarded via blank identifier"
+	_ = reply
+	tk.VerifyCached("k", "c")    // want "error returned by VerifyCached is dropped"
+	go tk.VerifyCached("k", "c") // want "error returned by VerifyCached is dropped"
+}
+
+func GoodScale(ix index, tk ticket) error {
+	if err := ix.RegisterRecord("node-1"); err != nil {
+		return err
+	}
+	reply, err := ix.QueryShards("os=lin")
+	_ = reply
+	if err != nil {
+		return err
+	}
+	return tk.VerifyCached("k", "c")
+}
+
 func Good(a authority) error {
 	if err := a.Submit("j"); err != nil {
 		return err

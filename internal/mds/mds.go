@@ -81,6 +81,13 @@ func (f Filter) Match(attrs map[string]string) bool {
 	if !ok {
 		return false
 	}
+	return f.matchValue(got)
+}
+
+// matchValue compares one present attribute value — shared by the flat
+// map path above and the sharded interned-pair path, so both planes
+// agree operator for operator.
+func (f Filter) matchValue(got string) bool {
 	switch f.Op {
 	case FEq:
 		return got == f.Value
@@ -127,8 +134,13 @@ type GRIS struct {
 	host string
 
 	providers map[string]Provider
-	order     []string
-	ticker    *sim.Ticker
+	// into holds fill-style providers (AddProviderInto); recs their
+	// persistent records, whose attr maps are rewritten in place each
+	// push so steady-state refresh is alloc-free.
+	into   map[string]func(attrs map[string]string)
+	recs   map[string]*Record
+	order  []string
+	ticker *sim.Ticker
 
 	// PushN counts registration messages sent.
 	PushN int
@@ -136,22 +148,71 @@ type GRIS struct {
 
 // NewGRIS creates the information service for host.
 func NewGRIS(eng *sim.Engine, net *simnet.Network, host string) *GRIS {
-	return &GRIS{eng: eng, net: net, host: host, providers: make(map[string]Provider)}
+	return &GRIS{
+		eng: eng, net: net, host: host,
+		providers: make(map[string]Provider),
+		into:      make(map[string]func(map[string]string)),
+		recs:      make(map[string]*Record),
+	}
 }
 
 // AddProvider registers a named local resource provider.
 func (g *GRIS) AddProvider(name string, p Provider) {
 	if _, dup := g.providers[name]; !dup {
-		g.order = append(g.order, name)
+		if _, dup2 := g.into[name]; !dup2 {
+			g.order = append(g.order, name)
+		}
 	}
 	g.providers[name] = p
+	delete(g.into, name)
+	delete(g.recs, name)
+}
+
+// AddProviderInto registers a fill-style provider: each push, fill is
+// handed the same attribute map (cleared) to repopulate, so a provider
+// refreshing a fixed key set allocates nothing in steady state. The
+// in-flight registration aliases that map until delivered; with push
+// intervals far above network latency (the soft-state regime) the value
+// skew window is negligible, and indexes copy on receipt.
+func (g *GRIS) AddProviderInto(name string, fill func(attrs map[string]string)) {
+	if _, dup := g.into[name]; !dup {
+		if _, dup2 := g.providers[name]; !dup2 {
+			g.order = append(g.order, name)
+		}
+	}
+	g.into[name] = fill
+	g.recs[name] = &Record{Name: name, Attrs: make(map[string]string), Source: g.host}
+	delete(g.providers, name)
+}
+
+// record materializes the current record for one provider. Fill-style
+// providers rewrite their persistent record in place; the returned
+// record's Attrs therefore aliases provider-owned storage.
+func (g *GRIS) record(name string) Record {
+	if fill, ok := g.into[name]; ok {
+		rec := g.recs[name]
+		clear(rec.Attrs)
+		fill(rec.Attrs)
+		rec.Stamp = g.eng.Now()
+		return *rec
+	}
+	return Record{Name: name, Attrs: g.providers[name](), Stamp: g.eng.Now(), Source: g.host}
 }
 
 // Snapshot returns current records for all providers (local query path).
+// Fill-style providers' attrs are copied so the caller owns the result.
 func (g *GRIS) Snapshot() []Record {
 	out := make([]Record, 0, len(g.order))
 	for _, name := range g.order {
-		out = append(out, Record{Name: name, Attrs: g.providers[name](), Stamp: g.eng.Now(), Source: g.host})
+		rec := g.record(name)
+		if _, isInto := g.into[name]; isInto {
+			attrs := make(map[string]string, len(rec.Attrs))
+			for k, v := range rec.Attrs {
+				attrs[k] = v
+			}
+			rec.Attrs = attrs
+		}
+		out = append(out, rec)
 	}
 	return out
 }
@@ -163,8 +224,8 @@ func (g *GRIS) StartPush(indexHost string, interval time.Duration) {
 		g.ticker.Stop()
 	}
 	push := func() {
-		for _, rec := range g.Snapshot() {
-			g.net.Send(g.host, indexHost, SvcRegister, Registration{Rec: rec, TTL: 2 * interval})
+		for _, name := range g.order {
+			g.net.Send(g.host, indexHost, SvcRegister, Registration{Rec: g.record(name), TTL: 2 * interval})
 			g.PushN++
 		}
 	}
@@ -215,7 +276,23 @@ func (g *GIIS) handleRegister(from string, raw any) (any, error) {
 		return nil, fmt.Errorf("mds: bad registration payload %T", raw)
 	}
 	g.RegisterN++
-	g.records[reg.Rec.Name] = &cached{rec: reg.Rec, expires: g.eng.Now() + reg.TTL}
+	// Refresh in place: a re-registering name reuses its cache entry and
+	// attr map, so steady-state soft-state refresh allocates nothing
+	// (the map-churn fix — previously every push allocated a fresh entry
+	// and retained the sender's map).
+	c := g.records[reg.Rec.Name]
+	if c == nil {
+		c = &cached{rec: Record{Attrs: make(map[string]string, len(reg.Rec.Attrs))}}
+		g.records[reg.Rec.Name] = c
+	}
+	c.rec.Name = reg.Rec.Name
+	c.rec.Stamp = reg.Rec.Stamp
+	c.rec.Source = reg.Rec.Source
+	clear(c.rec.Attrs)
+	for k, v := range reg.Rec.Attrs {
+		c.rec.Attrs[k] = v
+	}
+	c.expires = g.eng.Now() + reg.TTL
 	return nil, nil
 }
 

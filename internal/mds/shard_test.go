@@ -1,0 +1,421 @@
+package mds
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// shardRig drives the same registration stream into a flat GIIS and a
+// region/root sharded plane, so queries against both can be compared
+// byte for byte.
+type shardRig struct {
+	eng     *sim.Engine
+	net     *simnet.Network
+	flat    *GIIS
+	root    *RootIndex
+	regions []*RegionIndex
+}
+
+func newShardRig(t *testing.T, nRegions int) *shardRig {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	net := simnet.New(eng)
+	net.AddSite("HQ", 0, 0)
+	net.AddHost("flat", "HQ", 1e6)
+	net.AddHost("rootidx", "HQ", 1e6)
+	rig := &shardRig{
+		eng:  eng,
+		net:  net,
+		flat: NewGIIS(eng, net, "flat"),
+		root: NewRootIndex(eng, net, "rootidx"),
+	}
+	in := NewInterner()
+	for i := 0; i < nRegions; i++ {
+		host := fmt.Sprintf("region%d", i)
+		net.AddHost(host, "HQ", 1e6)
+		rg := NewRegionIndex(eng, net, host, fmt.Sprintf("R%d", i), in)
+		rig.regions = append(rig.regions, rg)
+		rig.root.AttachRegion(rg)
+	}
+	return rig
+}
+
+// feed registers one record into both planes (region chosen by site
+// index), as if the site's GRIS pushed to each.
+func (rig *shardRig) feed(t *testing.T, site int, rec Record, ttl time.Duration) {
+	t.Helper()
+	reg := Registration{Rec: rec, TTL: ttl}
+	if _, err := rig.flat.handleRegister(rec.Source, reg); err != nil {
+		t.Fatal(err)
+	}
+	if err := rig.regions[site%len(rig.regions)].RegisterRecord(reg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// renderReply serializes a reply canonically: records in order with
+// sorted attrs, then the staleness bound.
+func renderReply(r QueryReply) []byte {
+	var b bytes.Buffer
+	for _, rec := range r.Records {
+		fmt.Fprintf(&b, "%s src=%s stamp=%v", rec.Name, rec.Source, rec.Stamp)
+		keys := make([]string, 0, len(rec.Attrs))
+		for k := range rec.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%s", k, rec.Attrs[k])
+		}
+		fmt.Fprintln(&b)
+	}
+	fmt.Fprintf(&b, "maxstale=%v\n", r.MaxStale)
+	return b.Bytes()
+}
+
+// TestShardedMatchesFlat is the differential gate: over a seeded grid
+// of sites with churning attributes, partial refresh loss (expiring
+// records), and a spread of query shapes, the sharded plane must return
+// byte-identical replies to the flat registry.
+func TestShardedMatchesFlat(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		rig := newShardRig(t, 4)
+		rng := rand.New(rand.NewSource(seed))
+		const nSites, perSite = 24, 3
+		oses := []string{"linux", "aix", "solaris"}
+
+		refresh := func(round int) {
+			now := rig.eng.Now()
+			for s := 0; s < nSites; s++ {
+				// A third of sites go quiet after round 0 — their records
+				// must expire identically in both planes.
+				if round > 0 && s%3 == 0 {
+					continue
+				}
+				for r := 0; r < perSite; r++ {
+					rec := Record{
+						Name:   fmt.Sprintf("site%02d/res%d", s, r),
+						Source: fmt.Sprintf("site%02d", s),
+						Stamp:  now,
+						Attrs: map[string]string{
+							"os":   oses[(s+r)%len(oses)],
+							"cpus": fmt.Sprint(1 << uint(rng.Intn(5))),
+							"load": fmt.Sprintf("%.2f", rng.Float64()*8),
+							"site": fmt.Sprintf("site%02d", s),
+						},
+					}
+					if r == 2 {
+						rec.Attrs["gpu"] = "1" // sparse attribute
+					}
+					rig.feed(t, s, rec, 10*time.Minute)
+				}
+			}
+		}
+
+		refresh(0)
+		rig.eng.RunUntil(4 * time.Minute)
+		refresh(1)
+		// Let the quiet third expire: round-0 records lapse at 10m.
+		rig.eng.RunUntil(11 * time.Minute)
+		for _, rg := range rig.regions {
+			rg.StartSummaryPush("rootidx", time.Minute)
+		}
+		rig.eng.RunUntil(12 * time.Minute)
+
+		queries := []Query{
+			{},
+			{Limit: 7},
+			{Filters: []Filter{{"os", FEq, "linux"}}},
+			{Filters: []Filter{{"os", FEq, "plan9"}}},
+			{Filters: []Filter{{"os", FNe, "linux"}}, Limit: 5},
+			{Filters: []Filter{{"cpus", FGe, "8"}}},
+			{Filters: []Filter{{"load", FLt, "2.0"}}},
+			{Filters: []Filter{{"gpu", FEq, "1"}}},
+			{Filters: []Filter{{"nope", FEq, "x"}}},
+			{Filters: []Filter{{"os", FEq, "aix"}, {"cpus", FLe, "4"}}, Limit: 3},
+			{Filters: []Filter{{"site", FEq, "site05"}}},
+			{Filters: []Filter{{"os", FGt, "3"}}}, // non-numeric attr side
+		}
+		for qi, q := range queries {
+			flat := renderReply(rig.flat.Eval(q))
+			sharded, err := rig.root.QueryShards(q)
+			if err != nil {
+				t.Fatalf("seed %d query %d: %v", seed, qi, err)
+			}
+			if got := renderReply(sharded); !bytes.Equal(flat, got) {
+				t.Errorf("seed %d query %d diverged:\n--- flat ---\n%s--- sharded ---\n%s", seed, qi, flat, got)
+			}
+		}
+	}
+}
+
+// TestSummaryPruning: with fresh summaries, a filter naming one
+// region's private value must skip the other regions entirely.
+func TestSummaryPruning(t *testing.T) {
+	rig := newShardRig(t, 3)
+	now := rig.eng.Now()
+	for s := 0; s < 3; s++ {
+		rig.feed(t, s, Record{
+			Name:   fmt.Sprintf("r%d/node", s),
+			Source: fmt.Sprintf("r%d", s),
+			Stamp:  now,
+			Attrs:  map[string]string{"zone": fmt.Sprintf("zone%d", s), "cpus": fmt.Sprint(4 * (s + 1))},
+		}, 30*time.Minute)
+	}
+	for _, rg := range rig.regions {
+		rg.StartSummaryPush("rootidx", time.Minute)
+	}
+	rig.eng.RunUntil(time.Second)
+	if rig.root.SummaryFresh() != 3 {
+		t.Fatalf("summaries fresh = %d, want 3", rig.root.SummaryFresh())
+	}
+
+	reply, err := rig.root.QueryShards(Query{Filters: []Filter{{"zone", FEq, "zone1"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.Records) != 1 || reply.Records[0].Name != "r1/node" {
+		t.Fatalf("reply = %+v", reply.Records)
+	}
+	if rig.root.FanoutN != 1 || rig.root.PrunedN != 2 {
+		t.Errorf("fanout=%d pruned=%d, want 1/2", rig.root.FanoutN, rig.root.PrunedN)
+	}
+
+	// Numeric range pruning: only region 2 has cpus=12.
+	rig.root.FanoutN, rig.root.PrunedN = 0, 0
+	if _, err := rig.root.QueryShards(Query{Filters: []Filter{{"cpus", FGt, "8"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if rig.root.FanoutN != 1 || rig.root.PrunedN != 2 {
+		t.Errorf("numeric fanout=%d pruned=%d, want 1/2", rig.root.FanoutN, rig.root.PrunedN)
+	}
+
+	// An attribute no region carries prunes everything.
+	rig.root.FanoutN, rig.root.PrunedN = 0, 0
+	if _, err := rig.root.QueryShards(Query{Filters: []Filter{{"ghost", FEq, "x"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if rig.root.FanoutN != 0 || rig.root.PrunedN != 3 {
+		t.Errorf("ghost fanout=%d pruned=%d, want 0/3", rig.root.FanoutN, rig.root.PrunedN)
+	}
+}
+
+// TestStaleSummaryIsConservative: when a region's summary lapses, the
+// root must consult it anyway — ignorance never excludes.
+func TestStaleSummaryIsConservative(t *testing.T) {
+	rig := newShardRig(t, 2)
+	now := rig.eng.Now()
+	rig.feed(t, 0, Record{Name: "a/n", Source: "a", Stamp: now,
+		Attrs: map[string]string{"zone": "east"}}, time.Hour)
+	rig.feed(t, 1, Record{Name: "b/n", Source: "b", Stamp: now,
+		Attrs: map[string]string{"zone": "west"}}, time.Hour)
+	rig.regions[0].StartSummaryPush("rootidx", time.Minute)
+	rig.regions[1].StartSummaryPush("rootidx", time.Minute)
+	rig.eng.RunUntil(time.Second)
+
+	// Region 1 goes quiet; its summary TTL (2m) lapses.
+	rig.regions[1].StopSummaryPush()
+	rig.eng.RunUntil(5 * time.Minute)
+	if rig.root.SummaryFresh() != 1 {
+		t.Fatalf("fresh summaries = %d, want 1", rig.root.SummaryFresh())
+	}
+	rig.root.FanoutN, rig.root.PrunedN, rig.root.UnknownN = 0, 0, 0
+	reply, err := rig.root.QueryShards(Query{Filters: []Filter{{"zone", FEq, "west"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Region 0's fresh summary excludes it; region 1 is unknown and
+	// must still be asked — and it holds the match.
+	if len(reply.Records) != 1 || reply.Records[0].Name != "b/n" {
+		t.Fatalf("stale-summary region's record lost: %+v", reply.Records)
+	}
+	if rig.root.UnknownN != 1 || rig.root.PrunedN != 1 {
+		t.Errorf("unknown=%d pruned=%d, want 1/1", rig.root.UnknownN, rig.root.PrunedN)
+	}
+}
+
+// TestSummaryDeltaPush: a quiet region elides every other uplink tick
+// (the TTL tolerates one silence); a widening region pushes every tick.
+func TestSummaryDeltaPush(t *testing.T) {
+	rig := newShardRig(t, 2)
+	quiet, busy := rig.regions[0], rig.regions[1]
+	now := rig.eng.Now()
+	rig.feed(t, 0, Record{Name: "q/n", Source: "q", Stamp: now,
+		Attrs: map[string]string{"os": "linux"}}, time.Hour)
+	quiet.StartSummaryPush("rootidx", time.Minute)
+	busy.StartSummaryPush("rootidx", time.Minute)
+	tick := 0
+	rig.eng.NewTicker(time.Minute, func() {
+		tick++
+		// Strictly increasing value keeps widening busy's numeric range.
+		if err := busy.RegisterRecord(Registration{Rec: Record{
+			Name: "b/n", Source: "b", Stamp: rig.eng.Now(),
+			Attrs: map[string]string{"load": fmt.Sprint(tick)},
+		}, TTL: time.Hour}); err != nil {
+			t.Error(err)
+		}
+	})
+	rig.eng.RunUntil(10*time.Minute + time.Second)
+
+	if quiet.SummarySkipN == 0 {
+		t.Errorf("quiet region never skipped a push (push=%d skip=%d)", quiet.SummaryPushN, quiet.SummarySkipN)
+	}
+	if quiet.SummaryPushN+quiet.SummarySkipN != 11 {
+		t.Errorf("quiet ticks = %d, want 11", quiet.SummaryPushN+quiet.SummarySkipN)
+	}
+	if quiet.SummaryPushN > 7 {
+		t.Errorf("quiet region pushed %d of 11 ticks; delta elision not working", quiet.SummaryPushN)
+	}
+	if busy.SummarySkipN > 1 {
+		t.Errorf("widening region skipped %d pushes", busy.SummarySkipN)
+	}
+	// The quiet region's summary must nonetheless stay fresh at the root.
+	if rig.root.SummaryFresh() != 2 {
+		t.Errorf("fresh summaries = %d, want 2", rig.root.SummaryFresh())
+	}
+}
+
+// TestRegionSweepTightensSummary: sweeping expired slots rebuilds the
+// summary over survivors, so pruning precision recovers.
+func TestRegionSweepTightensSummary(t *testing.T) {
+	rig := newShardRig(t, 1)
+	rg := rig.regions[0]
+	now := rig.eng.Now()
+	rig.feed(t, 0, Record{Name: "short", Source: "s", Stamp: now,
+		Attrs: map[string]string{"os": "aix"}}, time.Minute)
+	rig.feed(t, 0, Record{Name: "long", Source: "s", Stamp: now,
+		Attrs: map[string]string{"os": "linux"}}, time.Hour)
+	rig.eng.RunUntil(2 * time.Minute)
+	if got := rg.Sweep(); got != 1 {
+		t.Fatalf("swept %d, want 1", got)
+	}
+	s := rg.Summary(time.Minute)
+	for _, ks := range s.Keys {
+		if ks.Key == "os" {
+			if len(ks.Values) != 1 || ks.Values[0] != "linux" {
+				t.Errorf("post-sweep os values = %v, want [linux]", ks.Values)
+			}
+		}
+	}
+	// The freed slot is reused by the next registration.
+	slots := rg.Slots()
+	rig.feed(t, 0, Record{Name: "fresh", Source: "s", Stamp: rig.eng.Now(),
+		Attrs: map[string]string{"os": "plan9"}}, time.Hour)
+	if rg.Slots() != slots {
+		t.Errorf("slots grew %d -> %d despite free list", slots, rg.Slots())
+	}
+}
+
+// TestRootNoRegions: the fan-out API reports an error rather than
+// silently returning an empty reply.
+func TestRootNoRegions(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := simnet.New(eng)
+	net.AddSite("HQ", 0, 0)
+	net.AddHost("rootidx", "HQ", 1e6)
+	root := NewRootIndex(eng, net, "rootidx")
+	if _, err := root.QueryShards(Query{}); err == nil {
+		t.Fatal("no-region query succeeded")
+	}
+}
+
+// TestGIISRefreshAllocFree: re-registering a known name with a fixed
+// key set must not allocate — the satellite fix for the per-push
+// map churn.
+func TestGIISRefreshAllocFree(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := simnet.New(eng)
+	net.AddSite("HQ", 0, 0)
+	net.AddHost("flat", "HQ", 1e6)
+	g := NewGIIS(eng, net, "flat")
+	// Hoisted into an interface once: the handler's `any` parameter would
+	// otherwise box the Registration on every call and charge the test an
+	// allocation the register path doesn't own.
+	var raw any = Registration{Rec: Record{Name: "n", Source: "s",
+		Attrs: map[string]string{"os": "linux", "cpus": "4", "load": "0.5"}}, TTL: time.Minute}
+	if _, err := g.handleRegister("s", raw); err != nil {
+		t.Fatal(err)
+	}
+	n := testing.AllocsPerRun(200, func() {
+		if _, err := g.handleRegister("s", raw); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n != 0 {
+		t.Errorf("steady-state GIIS refresh allocates %.1f objects/op, want 0", n)
+	}
+}
+
+// TestRegionRefreshAllocFree: the dense store's in-place rewrite must
+// also be alloc-free once the name and keys are known.
+func TestRegionRefreshAllocFree(t *testing.T) {
+	rig := newShardRig(t, 1)
+	reg := Registration{Rec: Record{Name: "n", Source: "s",
+		Attrs: map[string]string{"os": "linux", "cpus": "4", "load": "0.5"}}, TTL: time.Minute}
+	if err := rig.regions[0].RegisterRecord(reg); err != nil {
+		t.Fatal(err)
+	}
+	n := testing.AllocsPerRun(200, func() {
+		if err := rig.regions[0].RegisterRecord(reg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n != 0 {
+		t.Errorf("steady-state region refresh allocates %.1f objects/op, want 0", n)
+	}
+}
+
+// TestGRISIntoRefreshAllocFree: a fill-style provider's snapshot reuses
+// its persistent record and map.
+func TestGRISIntoRefreshAllocFree(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := simnet.New(eng)
+	net.AddSite("HQ", 0, 0)
+	net.AddHost("n1", "HQ", 1e6)
+	g := NewGRIS(eng, net, "n1")
+	load := 0
+	g.AddProviderInto("n1/compute", func(attrs map[string]string) {
+		attrs["os"] = "linux"
+		attrs["load"] = fmt.Sprint(load) // varies, same key set
+	})
+	_ = g.record("n1/compute")
+	n := testing.AllocsPerRun(200, func() {
+		load = (load + 1) % 4 // small ints: fmt.Sprint hits cached strings
+		_ = g.record("n1/compute")
+	})
+	if n != 0 {
+		t.Errorf("fill-style refresh allocates %.1f objects/op, want 0", n)
+	}
+}
+
+// TestProviderIntoVisibleToIndex: end to end, a fill-style provider's
+// refreshed values reach the index like a classic provider's.
+func TestProviderIntoVisibleToIndex(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := simnet.New(eng)
+	net.AddSite("HQ", 0, 0)
+	net.AddHost("flat", "HQ", 1e6)
+	net.AddHost("n1", "HQ", 1e6)
+	idx := NewGIIS(eng, net, "flat")
+	g := NewGRIS(eng, net, "n1")
+	load := 0
+	g.AddProviderInto("n1/compute", func(attrs map[string]string) {
+		attrs["load"] = fmt.Sprint(load)
+	})
+	g.StartPush("flat", time.Minute)
+	eng.RunUntil(time.Second)
+	load = 7
+	eng.RunUntil(90 * time.Second)
+	reply := idx.Eval(Query{Filters: []Filter{{"load", FEq, "7"}}})
+	if len(reply.Records) != 1 {
+		t.Errorf("refreshed fill-style attr not visible: %+v", reply)
+	}
+	g.Stop()
+}

@@ -228,7 +228,7 @@ func Sweep() []bench.Spec {
 
 // All returns the full registry the gridlab bench subcommand runs.
 func All() []bench.Spec {
-	return append(append(Kernel(), Fluid()...), Sweep()...)
+	return append(append(append(Kernel(), Fluid()...), Scale()...), Sweep()...)
 }
 
 func benchName(prefix string, n int) string {

@@ -201,6 +201,29 @@ func (t *Ticket) Amount() float64 { return t.Leaf().Amount }
 // Verify checks the whole chain against the pinned authority key: every
 // signature, hash link, amount narrowing, and interval nesting.
 func (t *Ticket) Verify(authorityKey ed25519.PublicKey, now time.Duration) error {
+	return t.verify(authorityKey, now, func(c *Claim) bool {
+		return ed25519.Verify(c.IssuerKey, c.tbs(), c.Sig)
+	})
+}
+
+// VerifyCached is Verify with the signature checks memoized through a
+// SigCache: chains sharing already-verified links (the same stocked
+// ticket resold many times) skip the repeated ed25519 math. Results are
+// identical to Verify — the cache only ever skips re-proving triples
+// that already proved valid (see identity.SigCache).
+func (t *Ticket) VerifyCached(authorityKey ed25519.PublicKey, now time.Duration, cache *identity.SigCache) error {
+	if cache == nil {
+		return t.Verify(authorityKey, now)
+	}
+	return t.verify(authorityKey, now, func(c *Claim) bool {
+		return cache.Verify(c.IssuerKey, c.tbs(), c.Sig)
+	})
+}
+
+// verify runs the structural chain walk with signature validity
+// answered by sigOK, so the direct, memoized, and batched paths share
+// one body and one error precedence.
+func (t *Ticket) verify(authorityKey ed25519.PublicKey, now time.Duration, sigOK func(*Claim) bool) error {
 	if len(t.Chain) == 0 {
 		return fmt.Errorf("%w: empty", ErrBadChain)
 	}
@@ -210,7 +233,7 @@ func (t *Ticket) Verify(authorityKey ed25519.PublicKey, now time.Duration) error
 	}
 	for i := range t.Chain {
 		c := &t.Chain[i]
-		if !ed25519.Verify(c.IssuerKey, c.tbs(), c.Sig) {
+		if !sigOK(c) {
 			return fmt.Errorf("%w: link %d", ErrBadSignature, i)
 		}
 		if i == 0 {
@@ -305,11 +328,27 @@ type Authority struct {
 	capacity map[capability.ResourceType]float64
 	issued   map[capability.ResourceType]float64
 	replay   *replayCache
+	sigCache *identity.SigCache
 	serial   uint64
 	leaseSeq int
 	skew     time.Duration
-	records  []*LeaseRecord
-	recordOf map[string]*LeaseRecord // lease ID -> record
+
+	// Compact lease state: audit records live in one flat,
+	// generation-stamped slot slice instead of a heap *LeaseRecord per
+	// lease. recordOf maps lease ID -> slot handle; a handle whose
+	// generation no longer matches its slot is stale (the slot was
+	// recycled). In the default mode slots are append-only, so
+	// LeaseRecords preserves the historical grant-order audit log
+	// exactly as before; with SetCompactLeases(true), ReleaseLease
+	// recycles slots through the free list and memory stays O(live
+	// leases) instead of O(every lease ever granted) — the mode the
+	// planetary-scale experiment runs in.
+	leaseRecs []LeaseRecord
+	leaseGens []uint32
+	leaseFree []int32
+	liveN     int
+	recordOf  map[string]leaseHandle
+	compact   bool
 
 	// IssuedN, RedeemOK, RedeemConflict count outcomes for E9;
 	// RenewOK/RenewRej count lease renewals. ReplayRejN counts redeems
@@ -318,6 +357,12 @@ type Authority struct {
 	IssuedN, RedeemOK, RedeemConflict int
 	RenewOK, RenewRej                 int
 	ReplayRejN                        int
+
+	// BatchSigN counts link signatures presented through RedeemBatch;
+	// BatchVerifiedN counts how many actually cost an ed25519.Verify
+	// after dedup and memoization — the amortization evidence the
+	// throughput gates assert on deterministically.
+	BatchSigN, BatchVerifiedN int
 
 	// Observability handles (inert when no tracer is installed).
 	tr                                     *obs.Tracer
@@ -343,6 +388,37 @@ type LeaseRecord struct {
 	LastRenewedAt time.Duration
 }
 
+// leaseHandle addresses one slot of the flat lease-record store. The
+// generation stamp makes recycled slots detectable: a handle minted for
+// a released-and-reused slot no longer matches the slot's generation.
+type leaseHandle struct {
+	idx int32
+	gen uint32
+}
+
+// allocLeaseSlot pops a free slot (compact mode) or appends one,
+// returning its handle with a fresh generation.
+func (a *Authority) allocLeaseSlot() leaseHandle {
+	if n := len(a.leaseFree); n > 0 {
+		idx := a.leaseFree[n-1]
+		a.leaseFree = a.leaseFree[:n-1]
+		// The generation was bumped when the slot was freed, so handles
+		// from the previous occupancy are already stale.
+		return leaseHandle{idx: idx, gen: a.leaseGens[idx]}
+	}
+	a.leaseRecs = append(a.leaseRecs, LeaseRecord{})
+	a.leaseGens = append(a.leaseGens, 1)
+	return leaseHandle{idx: int32(len(a.leaseRecs) - 1), gen: 1}
+}
+
+// leaseAt dereferences a handle, nil when stale or out of range.
+func (a *Authority) leaseAt(h leaseHandle) *LeaseRecord {
+	if h.idx < 0 || int(h.idx) >= len(a.leaseRecs) || a.leaseGens[h.idx] != h.gen {
+		return nil
+	}
+	return &a.leaseRecs[h.idx]
+}
+
 // NewAuthority creates a site authority over the given capacity. The
 // node manager enforces hard allocations; its dedicated capacity for each
 // type must match `cap` (the caller typically builds both together).
@@ -360,8 +436,33 @@ func NewAuthority(eng *sim.Engine, site string, signer *identity.Principal, nm *
 		capacity:       capCopy,
 		issued:         make(map[capability.ResourceType]float64),
 		replay:         newReplayCache(defaultReplayCap),
-		recordOf:       make(map[string]*LeaseRecord),
+		sigCache:       identity.NewSigCache(identity.DefaultSigCacheCap),
+		recordOf:       make(map[string]leaseHandle),
 	}
+}
+
+// SetCompactLeases switches the lease store to O(live) mode: released
+// leases recycle their audit slot through the free list instead of
+// retaining it forever. The full-history default keeps LeaseRecords a
+// complete grant-order audit log (what the chaos invariant checkers
+// consume); compact mode keeps only live leases' records, which is what
+// lets a million-lease run's memory track live state rather than
+// history. Switch before the first redeem.
+func (a *Authority) SetCompactLeases(on bool) { a.compact = on }
+
+// LiveLeases reports how many leases are currently granted and not
+// released.
+func (a *Authority) LiveLeases() int { return a.liveN }
+
+// LeaseSlots reports the lease store's slot capacity — in compact mode
+// this tracks peak concurrency, not cumulative grants, which is the
+// O(live)-memory evidence the scale experiment records.
+func (a *Authority) LeaseSlots() int { return len(a.leaseRecs) }
+
+// SigCacheStats reports the verification memo's counters (hits, misses,
+// generation evictions).
+func (a *Authority) SigCacheStats() (hits, misses, evictions int) {
+	return a.sigCache.Hits, a.sigCache.Misses, a.sigCache.Evictions
 }
 
 // Key returns the authority's public key (peers pin this).
@@ -398,11 +499,17 @@ func (a *Authority) SetOversellFactor(f float64) { a.OversellFactor = f }
 // currently remembers (bounded; see replayCache).
 func (a *Authority) ReplayCacheLen() int { return len(a.replay.entries) }
 
-// LeaseRecords returns a copy of the lease audit log, in grant order.
+// LeaseRecords returns a copy of the lease audit log. In the default
+// full-history mode slots are append-only, so the order is grant order
+// exactly as before; in compact mode released slots have been recycled
+// and the copy covers live leases in slot order.
 func (a *Authority) LeaseRecords() []LeaseRecord {
-	out := make([]LeaseRecord, len(a.records))
-	for i, r := range a.records {
-		out[i] = *r
+	out := make([]LeaseRecord, 0, len(a.leaseRecs))
+	for i := range a.leaseRecs {
+		if a.leaseRecs[i].Lease == nil {
+			continue // free or never-occupied slot
+		}
+		out = append(out, a.leaseRecs[i])
 	}
 	return out
 }
@@ -453,7 +560,19 @@ func (a *Authority) IssueTicket(holderName string, holderKey ed25519.PublicKey, 
 // Redeem converts a ticket to a lease: verify the chain, reject double
 // spends, then try to commit hard capacity at the node manager. Failure
 // to commit is the oversubscription conflict of Figure 2's step 5-6.
+// Chain signatures resolve through the authority's verification memo,
+// so re-presented prefixes (the same stocked ticket resold many times)
+// cost one ed25519.Verify ever, not one per redeem.
 func (a *Authority) Redeem(t *Ticket) (*Lease, error) {
+	return a.redeemWith(t, func(c *Claim) bool {
+		return a.sigCache.Verify(c.IssuerKey, c.tbs(), c.Sig)
+	})
+}
+
+// redeemWith is the one redeem body, with signature validity answered
+// by sigOK — the single (memoized) and batched paths share it, so batch
+// redemption is definitionally equivalent to a sequential redeem loop.
+func (a *Authority) redeemWith(t *Ticket, sigOK func(*Claim) bool) (*Lease, error) {
 	var span obs.SpanContext
 	if a.tr != nil {
 		attrs := []obs.Attr{obs.String("site", a.Site)}
@@ -471,7 +590,7 @@ func (a *Authority) Redeem(t *Ticket) (*Lease, error) {
 		span.End(obs.Err(ErrWrongSite))
 		return nil, ErrWrongSite
 	}
-	if err := t.Verify(a.signer.Public(), now); err != nil {
+	if err := t.verify(a.signer.Public(), now, sigOK); err != nil {
 		a.cRedeemRej.Inc()
 		span.End(obs.Err(err))
 		return nil, err
@@ -518,25 +637,97 @@ func (a *Authority) Redeem(t *Ticket) (*Lease, error) {
 		NotAfter:  leaf.NotAfter,
 		CapID:     cap_.ID,
 	}
-	rec := &LeaseRecord{
+	hd := a.allocLeaseSlot()
+	*a.leaseAt(hd) = LeaseRecord{
 		Lease:         lease,
 		LeafNotBefore: leaf.NotBefore,
 		LeafNotAfter:  leaf.NotAfter,
 		RootNotAfter:  t.Root().NotAfter,
 		RedeemedAt:    a.eng.Now(),
 	}
-	a.records = append(a.records, rec)
-	a.recordOf[lease.ID] = rec
+	a.recordOf[lease.ID] = hd
+	a.liveN++
 	a.cRedeemOK.Inc()
 	span.End(obs.String("lease", lease.ID))
 	return lease, nil
 }
 
-// ReleaseLease returns a lease's resources (service teardown).
+// RedeemResult pairs one batch entry's outcome with its position.
+type RedeemResult struct {
+	Lease *Lease
+	Err   error
+}
+
+// RedeemBatch redeems many tickets in one pass, amortizing chain
+// verification: every link signature across the whole batch is
+// collected first, deduplicated (tickets resold from one stocked ticket
+// share their entire prefix), resolved against the verification memo,
+// and only the genuinely new triples pay an ed25519.Verify. The
+// per-ticket admission logic then replays in input order with the
+// precomputed signature verdicts, so results — leases, errors, replay
+// rejections, conflict accounting — are identical to calling Redeem in
+// a loop (a differential test pins this).
+func (a *Authority) RedeemBatch(tickets []*Ticket) []RedeemResult {
+	batch := identity.NewBatch(a.sigCache)
+	// Phase 1: collect every link signature. offsets[i] is ticket i's
+	// first item index; items appear in chain order per ticket.
+	offsets := make([]int, len(tickets))
+	for i, t := range tickets {
+		offsets[i] = batch.Len()
+		if t == nil {
+			continue
+		}
+		for j := range t.Chain {
+			c := &t.Chain[j]
+			batch.Add(c.IssuerKey, c.tbs(), c.Sig)
+		}
+	}
+	// Phase 2: one resolution pass over the distinct triples.
+	verdicts := batch.Run()
+	a.BatchVerifiedN += batch.VerifiedN
+	a.BatchSigN += batch.Len()
+	// Phase 3: sequential admission with memoized signature answers.
+	out := make([]RedeemResult, len(tickets))
+	for i, t := range tickets {
+		if t == nil {
+			out[i] = RedeemResult{Err: fmt.Errorf("%w: nil ticket", ErrBadChain)}
+			continue
+		}
+		// verify visits claims in chain order — the order phase 1
+		// enqueued them — and calls sigOK exactly once per link until
+		// the first failure, so a running cursor recovers each claim's
+		// verdict without re-hashing.
+		cursor := offsets[i]
+		lease, err := a.redeemWith(t, func(*Claim) bool {
+			ok := verdicts[cursor]
+			cursor++
+			return ok
+		})
+		out[i] = RedeemResult{Lease: lease, Err: err}
+	}
+	return out
+}
+
+// ReleaseLease returns a lease's resources (service teardown). In
+// compact mode the audit slot is recycled; otherwise it is retained
+// with Released set, preserving the historical log.
 func (a *Authority) ReleaseLease(l *Lease) {
 	a.nm.Release(l.CapID)
-	if rec, ok := a.recordOf[l.ID]; ok {
-		rec.Released = true
+	hd, ok := a.recordOf[l.ID]
+	if !ok {
+		return
+	}
+	rec := a.leaseAt(hd)
+	if rec == nil || rec.Released {
+		return
+	}
+	rec.Released = true
+	a.liveN--
+	if a.compact {
+		delete(a.recordOf, l.ID)
+		*rec = LeaseRecord{}
+		a.leaseGens[hd.idx]++ // stale out handles to the old occupancy
+		a.leaseFree = append(a.leaseFree, hd.idx)
 	}
 }
 
@@ -565,8 +756,9 @@ func (a *Authority) Renew(leaseID string, tickets ...*Ticket) (*Lease, error) {
 		span.End(obs.Err(err))
 		return nil, err
 	}
-	rec, ok := a.recordOf[leaseID]
-	if !ok || rec.Released {
+	hd, ok := a.recordOf[leaseID]
+	rec := a.leaseAt(hd)
+	if !ok || rec == nil || rec.Released {
 		return fail(fmt.Errorf("%w: %s", ErrUnknownLease, leaseID))
 	}
 	lease := rec.Lease
@@ -584,7 +776,7 @@ func (a *Authority) Renew(leaseID string, tickets ...*Ticket) (*Lease, error) {
 		if t.Root() != nil && t.Root().Site != a.Site {
 			return fail(ErrWrongSite)
 		}
-		if err := t.Verify(a.signer.Public(), now); err != nil {
+		if err := t.VerifyCached(a.signer.Public(), now, a.sigCache); err != nil {
 			return fail(err)
 		}
 		leaf := t.Leaf()
